@@ -1,0 +1,82 @@
+"""Section 4.2.3 — hashed vs sorted branch-node location.
+
+The paper implemented both ("in our experiments, we did not see a
+significant difference...  because for each branch node location, we
+perform a significant amount of computation").  This bench measures the
+raw lookup cost of both schemes (probe counts and wall time) and then
+confirms the paper's observation end-to-end: whole-run virtual times are
+indistinguishable.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import NCUBE2
+from repro.core.branch_nodes import (
+    BranchInfo,
+    HashedBranchIndex,
+    SortedBranchIndex,
+    branch_key,
+)
+from repro.core.partition import Cell
+from bench_util import SCALE_TABLES, instance, run_sim, table
+
+N_BRANCHES = 512
+N_LOOKUPS = 20000
+
+
+def _make_branches():
+    return [
+        BranchInfo(key=branch_key(Cell(3, k), 3), owner=k % 16,
+                   cell=Cell(3, k), count=k, mass=1.0, com=np.zeros(3))
+        for k in range(N_BRANCHES)
+    ]
+
+
+def _micro(index_cls):
+    branches = _make_branches()
+    index = index_cls(branches)
+    rng = np.random.default_rng(0)
+    # Zipf-ish access pattern: a few hot branches, as in real traversals.
+    hot = rng.zipf(1.5, size=N_LOOKUPS) % N_BRANCHES
+    keys = [branches[i].key for i in hot]
+    t0 = time.perf_counter()
+    for k in keys:
+        index.lookup(k)
+    wall = time.perf_counter() - t0
+    return index.probes / N_LOOKUPS, wall
+
+
+def _run_all():
+    h_probes, h_wall = _micro(HashedBranchIndex)
+    s_probes, s_wall = _micro(SortedBranchIndex)
+
+    ps = instance("g_160535", SCALE_TABLES)
+    t_end = {}
+    for lookup in ("hashed", "sorted"):
+        res = run_sim(ps, scheme="spda", p=16, profile=NCUBE2,
+                      mode="force", branch_lookup=lookup)
+        t_end[lookup] = res.parallel_time
+    return (h_probes, h_wall, s_probes, s_wall), t_end
+
+
+@pytest.mark.benchmark(group="ablation-lookup")
+def test_branch_lookup_schemes(benchmark):
+    (h_probes, h_wall, s_probes, s_wall), t_end = benchmark.pedantic(
+        _run_all, rounds=1, iterations=1)
+    table("ablation_branch_lookup",
+          ["scheme", "probes/lookup", "wall s / 20k lookups",
+           "end-to-end T_p"],
+          [["hashed", h_probes, h_wall, t_end["hashed"]],
+           ["sorted", s_probes, s_wall, t_end["sorted"]]],
+          title=f"Section 4.2.3: branch-node lookup schemes "
+                f"({N_BRANCHES} branches, Zipf access)", precision=4)
+
+    # Hashed lookups touch fewer entries than binary search on average.
+    assert h_probes < s_probes
+    # The paper's end-to-end observation: no significant difference,
+    # because each lookup amortises over a subtree evaluation.
+    rel = abs(t_end["hashed"] - t_end["sorted"]) / t_end["hashed"]
+    assert rel < 0.02, f"end-to-end difference {rel:.3f} too large"

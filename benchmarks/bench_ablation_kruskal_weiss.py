@@ -1,0 +1,67 @@
+"""Section 4.1 — the Kruskal-Weiss cluster-count analysis.
+
+The paper bounds SPSA's load imbalance by modelling per-cluster loads as
+i.i.d. random variables: T_p <= r mu / p + sigma sqrt(2 (r/p) log p),
+yielding the rule r >= p log p.  This bench measures the *actual* SPSA
+force-phase imbalance against the bound's prediction as r grows, and
+checks that measured imbalance falls roughly like the bound says.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import NCUBE2
+from repro.analysis.kruskal_weiss import (
+    expected_completion_time,
+    min_clusters,
+)
+from bench_util import SCALE_TABLES, instance, run_sim, table
+
+P = 16
+LEVELS = [1, 2, 3, 4]     # r = 8, 64, 512, 4096
+
+
+def _run_all():
+    ps = instance("g_326214", SCALE_TABLES)
+    rows = []
+    measured = []
+    for level in LEVELS:
+        r = 1 << (3 * level)
+        if r < P:
+            continue
+        res = run_sim(ps, scheme="spsa", p=P, profile=NCUBE2,
+                      mode="force", grid_level=level)
+        imb = res.load_imbalance()
+        # Bound prediction with unit-mean cluster loads and sigma ~ mu
+        # (very skewed Gaussian instance).
+        t_bound = expected_completion_time(r, P, mean=1.0, std=1.0)
+        bound_ratio = t_bound / (r / P)
+        measured.append((r, imb, bound_ratio))
+        rows.append([r, imb, bound_ratio,
+                     "yes" if r >= min_clusters(P) else "no"])
+    return rows, measured
+
+
+@pytest.mark.benchmark(group="ablation-kw")
+def test_kruskal_weiss_rule(benchmark):
+    rows, measured = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    table("ablation_kruskal_weiss",
+          ["r clusters", "measured imbalance", "KW bound ratio",
+           f"r >= p log p (p={P})"],
+          rows,
+          title=f"Section 4.1: SPSA imbalance vs cluster count "
+                f"(g_326214 scaled x{SCALE_TABLES}, p={P}, nCUBE2)",
+          precision=3)
+
+    # Shape 1: both the measured imbalance and the bound fall with r.
+    imbs = [m[1] for m in measured]
+    bounds = [m[2] for m in measured]
+    assert imbs[-1] < imbs[0]
+    assert bounds == sorted(bounds, reverse=True)
+
+    # Shape 2: once r >= p log p the measured imbalance is modest.
+    for r, imb, _ in measured:
+        if r >= min_clusters(P) * 4:
+            assert imb < 2.0, f"r={r} still imbalanced: {imb:.2f}"

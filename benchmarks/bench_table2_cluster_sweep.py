@@ -1,0 +1,66 @@
+"""Table 2 — runtime vs number of static clusters.
+
+Paper: sweeping r from 16x16 to 64x64 clusters generally improves both
+schemes (better load balance), but for SPSA at small p the gain can be
+offset by the extra communication — its p = 16 runtime *degrades* going
+to the finest grid.  The paper's r values are 2-D grids; we sweep the
+3-D grid level (r = 64, 512, 4096), which spans the same two orders of
+magnitude.
+"""
+
+import pytest
+
+from repro import NCUBE2
+from bench_util import SCALE_TABLES, instance, run_sim, table
+
+LEVELS = [2, 3, 4]              # r = 64, 512, 4096
+CASES = [
+    ("g_28131", 0.67, 16),
+    ("g_160535", 0.67, 64),
+    ("g_326214", 1.0, 64),
+]
+
+
+def _run_all():
+    rows = []
+    times = {}
+    for name, alpha, p in CASES:
+        ps_set = instance(name, SCALE_TABLES * 4 if name == "g_28131"
+                          else SCALE_TABLES)
+        for level in LEVELS:
+            for scheme in ("spsa", "spda"):
+                res = run_sim(ps_set, scheme=scheme, p=p, profile=NCUBE2,
+                              alpha=alpha, mode="force", grid_level=level,
+                              steps=3)
+                r = 1 << (3 * level)
+                t = res.last_step_time
+                times[(name, scheme, level)] = t
+                rows.append([name, p, scheme, r, t,
+                             res.load_imbalance()])
+    return rows, times
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_cluster_sweep(benchmark):
+    rows, times = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    table("table2",
+          ["instance", "p", "scheme", "r clusters", "T_p (s)",
+           "imbalance"],
+          rows,
+          title=f"Table 2: runtime vs number of clusters, virtual nCUBE2 "
+                f"(instances scaled x{SCALE_TABLES})")
+
+    # Shape 1: SPDA improves (or holds) from the coarsest to the finest
+    # grid on every instance.
+    for name, _, _ in CASES:
+        assert times[(name, "spda", LEVELS[-1])] <= \
+            times[(name, "spda", LEVELS[0])] * 1.10
+
+    # Shape 2: more clusters tighten the SPDA load balance on the most
+    # irregular instance.
+    imb = {}
+    for row in rows:
+        name, _, scheme, r, _, imbalance = row
+        imb[(name, scheme, r)] = imbalance
+    assert imb[("g_160535", "spda", 4096)] <= \
+        imb[("g_160535", "spda", 64)] + 0.05

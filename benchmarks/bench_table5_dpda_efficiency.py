@@ -1,0 +1,60 @@
+"""Table 5 — DPDA runtime and efficiency on the virtual CM5.
+
+Paper: degree-4 multipole potentials at alpha = 0.67 for p_63192,
+g_160535, g_326214, p_353992 on p = 64 and p = 256.  Efficiency grows
+with problem size and falls with p; the two larger instances keep a
+relative 64 -> 256 speedup above ~3.3.
+"""
+
+import pytest
+
+from repro import CM5
+from bench_util import SCALE_MULTIPOLE, instance, run_efficiency, \
+    run_sim, table
+
+INSTANCES = ["p_63192", "g_160535", "g_326214", "p_353992"]
+PROCS = [64, 256]
+DEGREE = 4
+
+
+def _run_all():
+    rows = []
+    data = {}
+    for name in INSTANCES:
+        ps_set = instance(name, SCALE_MULTIPOLE)
+        row = [name, ps_set.n]
+        for p in PROCS:
+            res = run_sim(ps_set, scheme="dpda", p=p, profile=CM5,
+                          alpha=0.67, degree=DEGREE, mode="potential")
+            eff = run_efficiency(res, DEGREE, p, CM5)
+            data[(name, p)] = (res.parallel_time, eff)
+            row.extend([res.parallel_time, eff])
+        rows.append(row)
+    return rows, data
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_dpda_efficiency(benchmark):
+    rows, data = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    table("table5",
+          ["instance", "n (scaled)", "T_p p=64", "E p=64",
+           "T_p p=256", "E p=256"],
+          rows,
+          title=f"Table 5: DPDA runtime/efficiency, degree {DEGREE}, "
+                f"alpha 0.67, virtual CM5 (scaled x{SCALE_MULTIPOLE})")
+
+    # Shape 1: efficiency falls when p quadruples at fixed n.
+    for name in INSTANCES:
+        assert data[(name, 256)][1] < data[(name, 64)][1]
+
+    # Shape 2: at fixed p, bigger problems are at least as efficient as
+    # the smallest one (paper: "on bigger problems... better
+    # efficiencies will be obtained").
+    for p in PROCS:
+        assert data[("p_353992", p)][1] > data[("p_63192", p)][1]
+
+    # Shape 3: the largest instance keeps a healthy relative speedup
+    # from 64 to 256 (paper: > 3.3 at full scale; scaled instances give
+    # a bit less).
+    rel = data[("p_353992", 64)][0] / data[("p_353992", 256)][0]
+    assert rel > 1.5, f"relative 64->256 speedup only {rel:.2f}"

@@ -1,0 +1,63 @@
+"""Table 6 — runtime, efficiency, fractional % error vs multipole degree.
+
+Paper: degrees 3, 4, 5 at alpha = 0.67.  Error drops roughly by half
+per degree; runtime grows ~Theta(k^2); and — the function-shipping
+signature — *parallel efficiency increases with degree* because the
+communication volume stays constant while compute grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CM5, direct_potentials
+from repro.analysis import fractional_percent_error
+from bench_util import SCALE_MULTIPOLE, instance, run_efficiency, \
+    run_sim, table
+
+CASES = [
+    ("p_63192", 64),
+    ("g_160535", 64),
+    ("p_353992", 256),
+]
+DEGREES = [3, 4, 5]
+
+
+def _run_all():
+    rows = []
+    data = {}
+    for name, p in CASES:
+        ps_set = instance(name, SCALE_MULTIPOLE)
+        exact = direct_potentials(ps_set)
+        for degree in DEGREES:
+            res = run_sim(ps_set, scheme="dpda", p=p, profile=CM5,
+                          alpha=0.67, degree=degree, mode="potential")
+            err = fractional_percent_error(res.values, exact)
+            eff = run_efficiency(res, degree, p, CM5)
+            data[(name, degree)] = (res.parallel_time, eff, err)
+            rows.append([name, p, degree, res.parallel_time, eff, err])
+    return rows, data
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_degree(benchmark):
+    rows, data = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    table("table6",
+          ["instance", "p", "degree", "T_p (s)", "efficiency",
+           "frac % err"],
+          rows,
+          title=f"Table 6: degree sweep, alpha 0.67, DPDA, virtual CM5 "
+                f"(scaled x{SCALE_MULTIPOLE})", precision=4)
+
+    for name, _ in CASES:
+        t = [data[(name, k)][0] for k in DEGREES]
+        e = [data[(name, k)][1] for k in DEGREES]
+        err = [data[(name, k)][2] for k in DEGREES]
+        # Shape 1: error decreases monotonically with degree.
+        assert err[0] > err[1] > err[2], f"{name}: {err}"
+        # Shape 2: runtime increases with degree, super-linearly
+        # (~Theta(k^2) per interaction: 3 -> 5 should cost > 1.5x).
+        assert t[0] < t[1] < t[2]
+        assert t[2] / t[0] > 1.5
+        # Shape 3: efficiency *increases* with degree (the paper's
+        # headline for function shipping).
+        assert e[2] > e[0], f"{name}: efficiency {e}"

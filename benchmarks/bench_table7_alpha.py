@@ -1,0 +1,64 @@
+"""Table 7 — runtime, efficiency, fractional % error vs alpha.
+
+Paper: alpha in {0.67, 0.80, 1.0} at degree 4.  Larger alpha = faster
+and less accurate; efficiency often *rises* with alpha at moderate p
+(more near-field work means relatively less communication) but drops for
+the big instance at p = 256 and alpha = 1.0.
+"""
+
+import pytest
+
+from repro import CM5, direct_potentials
+from repro.analysis import fractional_percent_error
+from bench_util import SCALE_MULTIPOLE, instance, run_efficiency, \
+    run_sim, table
+
+CASES = [
+    ("p_63192", 64),
+    ("g_160535", 64),
+    ("p_353992", 256),
+]
+ALPHAS = [0.67, 0.80, 1.0]
+DEGREE = 4
+
+
+def _run_all():
+    rows = []
+    data = {}
+    for name, p in CASES:
+        ps_set = instance(name, SCALE_MULTIPOLE)
+        exact = direct_potentials(ps_set)
+        for alpha in ALPHAS:
+            res = run_sim(ps_set, scheme="dpda", p=p, profile=CM5,
+                          alpha=alpha, degree=DEGREE, mode="potential")
+            err = fractional_percent_error(res.values, exact)
+            eff = run_efficiency(res, DEGREE, p, CM5)
+            comm_bytes = res.run.total_bytes
+            data[(name, alpha)] = (res.parallel_time, eff, err, comm_bytes)
+            rows.append([name, p, alpha, res.parallel_time, eff, err])
+    return rows, data
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_alpha(benchmark):
+    rows, data = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    table("table7",
+          ["instance", "p", "alpha", "T_p (s)", "efficiency",
+           "frac % err"],
+          rows,
+          title=f"Table 7: alpha sweep, degree {DEGREE}, DPDA, virtual "
+                f"CM5 (scaled x{SCALE_MULTIPOLE})", precision=4)
+
+    for name, _ in CASES:
+        t = [data[(name, a)][0] for a in ALPHAS]
+        err = [data[(name, a)][2] for a in ALPHAS]
+        # Shape 1: runtime falls as alpha grows.
+        assert t[0] > t[1] > t[2], f"{name}: {t}"
+        # Shape 2: error grows as alpha grows.
+        assert err[0] < err[1] < err[2], f"{name}: {err}"
+
+    # Shape 3: larger alpha reduces communication volume (the paper's
+    # explanation for the efficiency increase: "more and more
+    # interactions are accounted as near-field").
+    for name, _ in CASES:
+        assert data[(name, 1.0)][3] < data[(name, 0.67)][3]

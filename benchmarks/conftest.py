@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Benchmarks print their paper-style tables to stdout and also persist
+them under ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed
+from a plain ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

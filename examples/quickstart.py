@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: serial Barnes-Hut, accuracy check, and a parallel run.
+
+Runs in a few seconds:
+
+1. builds a Plummer sphere and computes serial Barnes-Hut potentials,
+   comparing them against exact O(n^2) summation at several alpha values
+   (the accuracy/cost dial of Fig. 1);
+2. runs the same problem through the SPDA parallel formulation on a
+   virtual 16-processor nCUBE2 and prints the phase breakdown the paper
+   reports in Table 3.
+
+Usage: python examples/quickstart.py [n_particles]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    NCUBE2,
+    ParallelBarnesHut,
+    SchemeConfig,
+    compute_potentials,
+    direct_potentials,
+    format_table,
+    fractional_percent_error,
+    plummer,
+)
+
+
+def main(n: int = 3000) -> None:
+    particles = plummer(n, seed=2024)
+    print(f"Plummer sphere with {n} particles "
+          f"(half-mass radius ~1.3 scale radii)\n")
+
+    # --- serial treecode: accuracy vs alpha -----------------------------
+    exact = direct_potentials(particles)
+    rows = []
+    for alpha in (0.5, 0.67, 0.8, 1.0):
+        res = compute_potentials(particles, alpha=alpha)
+        rows.append([
+            alpha,
+            fractional_percent_error(res.values, exact),
+            res.mac_tests,
+            res.cluster_interactions + res.p2p_interactions,
+        ])
+    print(format_table(
+        ["alpha", "frac % error", "MAC tests", "interactions F"],
+        rows, title="Serial Barnes-Hut: the alpha dial", precision=3,
+    ))
+
+    # --- parallel run on the virtual nCUBE2 -----------------------------
+    config = SchemeConfig(scheme="spda", alpha=0.67, mode="potential",
+                          grid_level=2)
+    sim = ParallelBarnesHut(particles, config, p=16, profile=NCUBE2)
+    result = sim.run()
+
+    err = fractional_percent_error(result.values, exact)
+    print(f"\nSPDA on a virtual 16-processor nCUBE2:")
+    print(f"  parallel time (virtual)    {result.parallel_time:9.2f} s")
+    print(f"  fractional % error         {err:9.3f} %")
+    print(f"  force computations F       {result.force_computations():9d}")
+    print(f"  force-phase load imbalance {result.load_imbalance():9.2f}x")
+    print("  phase breakdown (max over processors):")
+    for phase, t in sorted(result.phase_breakdown().items(),
+                           key=lambda kv: -kv[1]):
+        print(f"    {phase:<28s} {t:10.3f} s")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3000)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Strong-scaling study across schemes and machines (paper Section 5).
+
+Runs one instance at several processor counts on the virtual nCUBE2 and
+CM5, printing runtime, speedup and efficiency per scheme — a compact
+version of the measurements behind Tables 1 and 5.  Efficiencies are
+computed the paper's way: the serial time is extrapolated from the
+instruction-count model (13 + 16 k^2 per interaction, 14 per MAC),
+because the big instances never fit on one node.
+
+Usage: python examples/scaling_study.py [instance] [scale]
+  e.g. python examples/scaling_study.py g_160535 0.05
+"""
+
+import sys
+
+from repro import (
+    CM5,
+    NCUBE2,
+    ParallelBarnesHut,
+    SchemeConfig,
+    efficiency,
+    format_table,
+    make_instance,
+    serial_time_estimate,
+    speedup,
+)
+
+
+def study(instance: str, scale: float) -> None:
+    particles = make_instance(instance, scale=scale)
+    print(f"instance {instance} at scale {scale}: "
+          f"{particles.n} particles\n")
+
+    for profile in (NCUBE2, CM5):
+        rows = []
+        for scheme in ("spsa", "spda", "dpda"):
+            for p in (4, 16, 64):
+                config = SchemeConfig(scheme=scheme, alpha=0.67,
+                                      mode="potential", grid_level=3,
+                                      leaf_capacity=16)
+                sim = ParallelBarnesHut(particles, config, p=p,
+                                        profile=profile)
+                result = sim.run()
+                t_serial = serial_time_estimate(
+                    result.total_flops(config.degree), profile)
+                rows.append([
+                    scheme, p, result.parallel_time,
+                    speedup(t_serial, result.parallel_time),
+                    efficiency(t_serial, result.parallel_time, p),
+                ])
+        print(format_table(
+            ["scheme", "p", "T_p (s)", "speedup", "efficiency"],
+            rows, title=f"strong scaling on the virtual {profile.name}",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    instance = sys.argv[1] if len(sys.argv) > 1 else "g_160535"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.03
+    study(instance, scale)

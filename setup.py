@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The environment has setuptools without the `wheel` package, so PEP 660
+editable installs fail; this file enables the classic develop-mode path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``instances``
+    List the paper's named problem instances.
+``profiles``
+    List the virtual machine profiles and their parameters.
+``run``
+    Run one parallel Barnes-Hut simulation and print the paper-style
+    summary (virtual time, phase breakdown, accuracy vs direct summation
+    when feasible).
+
+Examples
+--------
+::
+
+    python -m repro instances
+    python -m repro run --instance g_160535 --scale 0.01 --scheme dpda \\
+        --procs 64 --machine cm5 --alpha 0.67 --degree 4 --mode potential
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_instances(args) -> int:
+    from repro.analysis import format_table
+    from repro.bh.distributions import INSTANCES
+
+    rows = [
+        [s.name, s.n, s.kind, s.blobs,
+         s.containment if s.containment is not None else "-",
+         s.description]
+        for s in sorted(INSTANCES.values(), key=lambda s: s.name)
+    ]
+    print(format_table(
+        ["name", "n", "kind", "blobs", "containment", "used in"],
+        rows, title="Named instances (paper Section 5)",
+    ))
+    return 0
+
+
+def _cmd_profiles(args) -> int:
+    from repro.analysis import format_table
+    from repro.machine.profiles import CM5, NCUBE2, T3E, ZERO_COST
+
+    rows = [
+        [p.name, p.topology_kind, p.t_s * 1e6, p.t_h * 1e6,
+         p.t_w * 1e6, p.flops_per_second / 1e6,
+         p.memory_bytes // (1024 * 1024)]
+        for p in (NCUBE2, CM5, T3E, ZERO_COST)
+    ]
+    print(format_table(
+        ["machine", "topology", "t_s (us)", "t_h (us)", "t_w (us/B)",
+         "Mflop/s", "MB/node"],
+        rows, title="Virtual machine profiles", precision=3,
+    ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro import (
+        ParallelBarnesHut,
+        SchemeConfig,
+        direct_potentials,
+        fractional_percent_error,
+        make_instance,
+    )
+    from repro.machine.profiles import get_profile
+
+    particles = make_instance(args.instance, scale=args.scale,
+                              seed=args.seed)
+    config = SchemeConfig(
+        scheme=args.scheme, alpha=args.alpha, degree=args.degree,
+        mode=args.mode, grid_level=args.grid_level,
+        leaf_capacity=args.leaf_capacity,
+    )
+    profile = get_profile(args.machine)
+    print(f"{args.instance} (scale {args.scale}: {particles.n} particles) "
+          f"| {args.scheme.upper()} on {profile.name} x{args.procs} "
+          f"| alpha={args.alpha} degree={args.degree} mode={args.mode}")
+
+    sim = ParallelBarnesHut(particles, config, p=args.procs,
+                            profile=profile)
+    result = sim.run(steps=args.steps)
+
+    print(f"\nvirtual parallel time   {result.parallel_time:10.3f} s")
+    print(f"last-step time          {result.last_step_time:10.3f} s")
+    print(f"force computations F    {result.force_computations():10d}")
+    print(f"force load imbalance    {result.load_imbalance():10.2f}x")
+    print("phase breakdown (max over processors):")
+    for phase, t in sorted(result.phase_breakdown().items(),
+                           key=lambda kv: -kv[1]):
+        print(f"  {phase:<26s} {t:10.3f} s")
+
+    if args.check and args.mode == "potential":
+        exact = direct_potentials(particles)
+        err = fractional_percent_error(result.values, exact)
+        print(f"fractional % error      {err:10.4f} %")
+    elif args.check:
+        from repro import direct_forces
+        exact = direct_forces(particles)
+        rel = np.linalg.norm(result.values - exact, axis=1) \
+            / np.linalg.norm(exact, axis=1)
+        print(f"median force rel error  {np.median(rel):10.2e}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel Barnes-Hut reproduction "
+                    "(Grama, Kumar & Sameh, SC'94)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("instances", help="list the paper's named instances")
+    sub.add_parser("profiles", help="list virtual machine profiles")
+
+    run = sub.add_parser("run", help="run one parallel simulation")
+    run.add_argument("--instance", default="g_160535",
+                     help="named instance (see `instances`)")
+    run.add_argument("--scale", type=float, default=0.01,
+                     help="fraction of the paper's particle count")
+    run.add_argument("--seed", type=int, default=1994)
+    run.add_argument("--scheme", choices=("spsa", "spda", "dpda"),
+                     default="spda")
+    run.add_argument("--procs", type=int, default=16,
+                     help="virtual processor count")
+    run.add_argument("--machine", default="ncube2",
+                     help="ncube2 | cm5 | t3e | zero")
+    run.add_argument("--alpha", type=float, default=0.67)
+    run.add_argument("--degree", type=int, default=0,
+                     help="multipole degree (0 = monopole)")
+    run.add_argument("--mode", choices=("force", "potential"),
+                     default="force")
+    run.add_argument("--grid-level", type=int, default=3,
+                     help="static cluster grid level (r = 8^level in 3-D)")
+    run.add_argument("--leaf-capacity", type=int, default=16,
+                     help="the paper's s: max particles per leaf")
+    run.add_argument("--steps", type=int, default=1)
+    run.add_argument("--check", action="store_true",
+                     help="compare against O(n^2) direct summation")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "instances":
+        return _cmd_instances(args)
+    if args.command == "profiles":
+        return _cmd_profiles(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Measurement and modelling utilities for the reproduction.
+
+* :mod:`~repro.analysis.flops` — the paper's instruction-count model and
+  serial-time extrapolation (the paper computes efficiencies "by
+  extrapolating force computation rates on a single processor").
+* :mod:`~repro.analysis.error` — fractional percentage error (Section 5.2.2).
+* :mod:`~repro.analysis.metrics` — speedup/efficiency/phase breakdowns.
+* :mod:`~repro.analysis.kruskal_weiss` — the Section 4.1 load-imbalance
+  bound and the r >= p log p cluster-count rule.
+* :mod:`~repro.analysis.tables` — paper-style text tables for benches.
+"""
+
+from repro.analysis.flops import (
+    FLOPS_PER_MAC,
+    interaction_flops,
+    serial_time_estimate,
+)
+from repro.analysis.error import fractional_error, fractional_percent_error
+from repro.analysis.metrics import (
+    efficiency,
+    speedup,
+    phase_table,
+)
+from repro.analysis.kruskal_weiss import (
+    expected_completion_time,
+    imbalance_overhead,
+    min_clusters,
+)
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "FLOPS_PER_MAC",
+    "interaction_flops",
+    "serial_time_estimate",
+    "fractional_error",
+    "fractional_percent_error",
+    "efficiency",
+    "speedup",
+    "phase_table",
+    "expected_completion_time",
+    "imbalance_overhead",
+    "min_clusters",
+    "format_table",
+]

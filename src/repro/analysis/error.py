@@ -1,0 +1,30 @@
+"""Fractional (percentage) error, as defined in Section 5.2.2.
+
+"If x_k is the potential vector returned by the k-degree polynomial
+approximation and x is the accurate potential vector, then the fractional
+error is defined as ||x - x_k|| / ||x||.  When expressed as a percentage,
+we refer to this as the fractional percentage error of the treecode."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fractional_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """||exact - approx|| / ||exact|| over flattened vectors."""
+    approx = np.asarray(approx, dtype=np.float64).ravel()
+    exact = np.asarray(exact, dtype=np.float64).ravel()
+    if approx.shape != exact.shape:
+        raise ValueError(
+            f"shape mismatch: approx {approx.shape} vs exact {exact.shape}"
+        )
+    denom = np.linalg.norm(exact)
+    if denom == 0.0:
+        raise ValueError("exact vector has zero norm")
+    return float(np.linalg.norm(exact - approx) / denom)
+
+
+def fractional_percent_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """The paper's tabulated quantity: 100 * fractional error."""
+    return 100.0 * fractional_error(approx, exact)

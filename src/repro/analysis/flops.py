@@ -1,0 +1,47 @@
+"""The paper's instruction-count model (Section 5.2.1).
+
+"In our code, each particle-cluster interaction requires 13 + k^2 * 16
+floating point instructions, where k is the degree of polynomial used.
+The MAC routine requires 14 floating point instructions."
+
+These counts are what the virtual machine charges for treecode work, and
+what the serial-time extrapolation uses — exactly how the paper computed
+efficiencies for problems too large to run on one node.
+"""
+
+from __future__ import annotations
+
+from repro.machine.costmodel import MachineProfile
+
+#: Flops per multipole-acceptance test.
+FLOPS_PER_MAC = 14.0
+
+
+def interaction_flops(degree: int) -> float:
+    """Flops for one particle-cluster interaction at multipole degree k.
+
+    Monopole interactions (degree 0) and leaf-level particle-particle
+    interactions are charged as the k = 1 case (a point-mass interaction
+    still needs the distance, the kernel and the accumulate).
+    """
+    if degree < 0:
+        raise ValueError(f"negative degree {degree}")
+    k = max(degree, 1)
+    return 13.0 + 16.0 * k * k
+
+
+def traversal_flops(mac_tests: int, cluster_interactions: int,
+                    p2p_interactions: int, degree: int) -> float:
+    """Total flops of a traversal per the paper's model."""
+    return (FLOPS_PER_MAC * mac_tests
+            + interaction_flops(degree) * cluster_interactions
+            + interaction_flops(0) * p2p_interactions)
+
+
+def serial_time_estimate(total_flops: float,
+                         profile: MachineProfile) -> float:
+    """Virtual single-processor time for the given amount of treecode
+    work: the denominator of every efficiency in Tables 5-7."""
+    if total_flops < 0:
+        raise ValueError(f"negative flop count {total_flops}")
+    return total_flops / profile.flops_per_second

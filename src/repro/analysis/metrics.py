@@ -1,0 +1,54 @@
+"""Speedup, efficiency, and phase-breakdown helpers.
+
+The paper's efficiency figures come from extrapolated serial times
+(Section 5: "it is impossible to run these instances on a single
+processor...  we use the force evaluation rates of the serial and
+parallel versions to compute parallel efficiency").  ``efficiency`` takes
+exactly those two ingredients: an extrapolated serial time and the
+measured (virtual) parallel time.
+"""
+
+from __future__ import annotations
+
+from repro.machine.engine import RunReport
+
+
+def speedup(serial_time: float, parallel_time: float) -> float:
+    if serial_time < 0:
+        raise ValueError(f"negative serial time {serial_time}")
+    if parallel_time <= 0:
+        raise ValueError(f"parallel time must be positive, got {parallel_time}")
+    return serial_time / parallel_time
+
+
+def efficiency(serial_time: float, parallel_time: float, p: int) -> float:
+    """E = S / p = T_serial / (p * T_parallel)."""
+    if p <= 0:
+        raise ValueError(f"processor count must be positive, got {p}")
+    return speedup(serial_time, parallel_time) / p
+
+
+#: Phase names in the paper's Table 3 order.
+TABLE3_PHASES = [
+    "local tree construction",
+    "tree merging",
+    "all-to-all broadcast",
+    "force computation",
+    "load balancing",
+]
+
+
+def phase_table(report: RunReport,
+                phases: list[str] | None = None) -> dict[str, float]:
+    """Per-phase max-over-ranks times in a fixed order (Table 3 layout).
+
+    Phases the run never entered are reported as 0, as the paper does
+    for SPSA's load-balancing row ("the SPSA scheme spends no time in
+    balancing load since load balance is implicit").
+    """
+    measured = report.phase_max()
+    names = TABLE3_PHASES if phases is None else phases
+    out = {name: measured.get(name, 0.0) for name in names}
+    extras = {k: v for k, v in measured.items() if k not in out}
+    out.update(extras)
+    return out

@@ -1,0 +1,70 @@
+"""Gravitational interaction kernels (vectorized, optionally softened).
+
+Sign conventions: the potential of a point mass ``m`` at distance ``r`` is
+``phi = -G m / r``; the acceleration on a unit-mass test particle is
+``a = -G m r_vec / r^3`` where ``r_vec`` points from source to target...
+i.e. attraction.  All kernels broadcast a batch of targets against a batch
+of sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Gravitational constant in simulation units (G = 1, the n-body custom).
+G = 1.0
+
+
+def pair_potential(targets: np.ndarray, sources: np.ndarray,
+                   source_masses: np.ndarray,
+                   softening: float = 0.0) -> np.ndarray:
+    """Potential at each target from every source: shape (ntargets,).
+
+    Coincident target/source pairs contribute nothing (they are the
+    self-interaction case; the softened kernel also makes them finite).
+    """
+    t = np.atleast_2d(targets)
+    s = np.atleast_2d(sources)
+    diff = t[:, None, :] - s[None, :, :]                    # (nt, ns, d)
+    r2 = np.einsum("ijk,ijk->ij", diff, diff) + softening ** 2
+    with np.errstate(divide="ignore"):
+        inv_r = 1.0 / np.sqrt(r2)
+    inv_r[r2 == 0.0] = 0.0
+    return -G * inv_r @ source_masses
+
+
+def pair_force(targets: np.ndarray, sources: np.ndarray,
+               source_masses: np.ndarray,
+               softening: float = 0.0) -> np.ndarray:
+    """Acceleration at each target from every source: shape (nt, d)."""
+    t = np.atleast_2d(targets)
+    s = np.atleast_2d(sources)
+    diff = t[:, None, :] - s[None, :, :]
+    r2 = np.einsum("ijk,ijk->ij", diff, diff) + softening ** 2
+    with np.errstate(divide="ignore"):
+        inv_r3 = r2 ** -1.5
+    inv_r3[r2 == 0.0] = 0.0
+    w = source_masses[None, :] * inv_r3                     # (nt, ns)
+    return -G * np.einsum("ij,ijk->ik", w, diff)
+
+
+def point_mass_potential(targets: np.ndarray, center: np.ndarray,
+                         mass: float, softening: float = 0.0) -> np.ndarray:
+    """Monopole potential of one aggregated mass at ``center``."""
+    diff = np.atleast_2d(targets) - np.asarray(center)
+    r2 = np.einsum("ij,ij->i", diff, diff) + softening ** 2
+    with np.errstate(divide="ignore"):
+        inv_r = 1.0 / np.sqrt(r2)
+    inv_r[r2 == 0.0] = 0.0
+    return -G * mass * inv_r
+
+
+def point_mass_force(targets: np.ndarray, center: np.ndarray,
+                     mass: float, softening: float = 0.0) -> np.ndarray:
+    """Monopole acceleration of one aggregated mass at ``center``."""
+    diff = np.atleast_2d(targets) - np.asarray(center)
+    r2 = np.einsum("ij,ij->i", diff, diff) + softening ** 2
+    with np.errstate(divide="ignore"):
+        inv_r3 = r2 ** -1.5
+    inv_r3[r2 == 0.0] = 0.0
+    return -G * mass * diff * inv_r3[:, None]

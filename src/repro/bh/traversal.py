@@ -1,0 +1,196 @@
+"""Tree traversal: the force-computation phase of Barnes-Hut.
+
+The traversal is *batched*: a whole array of target points walks the tree
+together, the MAC is applied to all of them at once per node, and the
+accepted subset gets a vectorized particle-cluster interaction while the
+rest descends.  This is how a pure-numpy treecode stays tractable, and it
+maps one-to-one onto the paper's function-shipping protocol: a received
+bin of ~100 particle coordinates is exactly such a batch evaluated
+against the subtree rooted at a branch node.
+
+Remote leaves (placeholders for subtrees owned by other virtual
+processors) never contribute locally; the traversal returns, per remote
+node, the indices of the targets that need shipping — which the parallel
+engine turns into bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bh import kernels
+from repro.bh.mac import BarnesHutMAC
+from repro.bh.multipole import MonopoleExpansion, TreeMultipoles
+from repro.bh.particles import ParticleSet
+from repro.bh.tree import NO_CHILD, Tree
+
+
+@dataclass
+class TraversalResult:
+    """Output of one batched traversal.
+
+    ``values`` holds potentials (n,) or forces (n, d) aligned with the
+    target array.  The counters feed the paper's instruction-count cost
+    model; ``remote_targets`` maps a remote-leaf node id to the indices
+    of targets whose interaction must be shipped to the owner.
+    """
+
+    values: np.ndarray
+    mac_tests: int = 0
+    cluster_interactions: int = 0
+    p2p_interactions: int = 0
+    remote_targets: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def flops(self, degree: int) -> float:
+        """Virtual flop count per the paper's model (Section 5.2):
+        ``13 + 16 k^2`` per particle-cluster interaction, 14 per MAC.
+        Monopole (degree 0) interactions and leaf particle-particle
+        interactions are charged as the k = 1 case."""
+        per_cluster = 13.0 + 16.0 * max(degree, 1) ** 2
+        per_p2p = 13.0 + 16.0
+        return (14.0 * self.mac_tests
+                + per_cluster * self.cluster_interactions
+                + per_p2p * self.p2p_interactions)
+
+    def merge_counters(self, other: "TraversalResult") -> None:
+        """Fold another traversal's work counters into this one (values
+        are left alone — callers combine those explicitly)."""
+        self.mac_tests += other.mac_tests
+        self.cluster_interactions += other.cluster_interactions
+        self.p2p_interactions += other.p2p_interactions
+
+
+def traverse(tree: Tree, sources: ParticleSet | None,
+             target_positions: np.ndarray, mac: BarnesHutMAC,
+             evaluator, mode: str = "potential",
+             count_node_interactions: bool = False,
+             softening: float = 0.0,
+             root: int | None = None,
+             target_weights: np.ndarray | None = None) -> TraversalResult:
+    """Batched Barnes-Hut traversal from ``root`` (default: tree root).
+
+    Parameters
+    ----------
+    sources:
+        The particles the tree was built over; needed for leaf-level
+        particle-particle interactions.  May be ``None`` only if the tree
+        has no local leaves under ``root`` (a pure top tree).
+    evaluator:
+        Object with ``node_potential(node, targets)`` and
+        ``node_force(node, targets)`` — :class:`MonopoleExpansion` or
+        :class:`TreeMultipoles`.
+    mode:
+        ``"potential"`` or ``"force"``.
+    count_node_interactions:
+        Accumulate per-node interaction counts into ``tree.interactions``
+        (the DPDA load measure).
+    target_weights:
+        Optional (ntargets,) accumulator: each target's share of the
+        traversal cost in model flops is added to it.  The load balancers
+        use this to attribute *requester-side* work (top-tree walking)
+        to the particles that caused it.
+    """
+    if mode not in ("potential", "force"):
+        raise ValueError(f"mode must be 'potential' or 'force', got {mode!r}")
+    targets = np.atleast_2d(np.asarray(target_positions, dtype=np.float64))
+    nt, d = targets.shape
+    values = np.zeros(nt) if mode == "potential" else np.zeros((nt, d))
+    result = TraversalResult(values=values)
+    if nt == 0 or tree.nnodes == 0:
+        return result
+
+    degree = getattr(evaluator, "degree", 0)
+    per_cluster_flops = 13.0 + 16.0 * max(degree, 1) ** 2
+    start = tree.ROOT if root is None else root
+    stack: list[tuple[int, np.ndarray]] = [(start, np.arange(nt))]
+    while stack:
+        node, idx = stack.pop()
+        if tree.is_remote(node):
+            prev = result.remote_targets.get(node)
+            result.remote_targets[node] = (
+                idx if prev is None else np.concatenate((prev, idx))
+            )
+            continue
+        if tree.count(node) == 0:
+            continue
+        if tree.is_leaf(node):
+            if sources is None:
+                raise ValueError("tree has local leaves but no source "
+                                 "particles were provided")
+            p_idx = tree.particle_indices(node)
+            if mode == "potential":
+                values[idx] += kernels.pair_potential(
+                    targets[idx], sources.positions[p_idx],
+                    sources.masses[p_idx], softening=softening,
+                )
+            else:
+                values[idx] += kernels.pair_force(
+                    targets[idx], sources.positions[p_idx],
+                    sources.masses[p_idx], softening=softening,
+                )
+            result.p2p_interactions += idx.size * p_idx.size
+            if target_weights is not None:
+                target_weights[idx] += 29.0 * p_idx.size
+            if count_node_interactions:
+                # Count *pairs*, not visits: a leaf with k particles
+                # serving m targets costs m*k interactions, and the load
+                # balancers consume these counters as work units.
+                tree.interactions[node] += idx.size * p_idx.size
+            continue
+        result.mac_tests += idx.size
+        if target_weights is not None:
+            target_weights[idx] += 14.0
+        ok = mac.accept(tree, node, targets[idx])
+        far = idx[ok]
+        if far.size:
+            if mode == "potential":
+                values[far] += evaluator.node_potential(node, targets[far])
+            else:
+                values[far] += evaluator.node_force(node, targets[far])
+            result.cluster_interactions += far.size
+            if target_weights is not None:
+                target_weights[far] += per_cluster_flops
+            if count_node_interactions:
+                tree.interactions[node] += far.size
+        near = idx[~ok]
+        if near.size:
+            for child in tree.children[node]:
+                if child != NO_CHILD:
+                    stack.append((int(child), near))
+    return result
+
+
+def compute_forces(particles: ParticleSet, alpha: float = 0.67,
+                   leaf_capacity: int = 8, softening: float = 0.0,
+                   tree: Tree | None = None) -> TraversalResult:
+    """Serial Barnes-Hut forces on all particles (monopole, Section 5.1)."""
+    if tree is None:
+        from repro.bh.tree import build_tree
+        tree = build_tree(particles, leaf_capacity=leaf_capacity)
+    mac = BarnesHutMAC(alpha)
+    evaluator = MonopoleExpansion(tree, softening=softening)
+    return traverse(tree, particles, particles.positions, mac, evaluator,
+                    mode="force", softening=softening)
+
+
+def compute_potentials(particles: ParticleSet, alpha: float = 0.67,
+                       degree: int = 0, leaf_capacity: int = 8,
+                       softening: float = 0.0,
+                       tree: Tree | None = None) -> TraversalResult:
+    """Serial Barnes-Hut potentials on all particles.
+
+    ``degree = 0`` uses monopoles; ``degree >= 1`` uses spherical-harmonic
+    multipole expansions of that degree (Section 5.2).
+    """
+    if tree is None:
+        from repro.bh.tree import build_tree
+        tree = build_tree(particles, leaf_capacity=leaf_capacity)
+    mac = BarnesHutMAC(alpha)
+    if degree == 0:
+        evaluator = MonopoleExpansion(tree, softening=softening)
+    else:
+        evaluator = TreeMultipoles(tree, particles, degree)
+    return traverse(tree, particles, particles.positions, mac, evaluator,
+                    mode="potential", softening=softening)

@@ -1,0 +1,298 @@
+"""Quad/oct trees with leaf capacity ``s`` and chain collapsing.
+
+The tree is stored as flat numpy arrays (children table, boxes, particle
+slices) built from Morton-sorted particles, which makes construction
+O(n log n) with vectorized splits and keeps every node's particle set a
+*contiguous slice* of the Morton order — the property the DPDA costzones
+scheme exploits to collect "all particles lying in the tree between load
+boundaries" with array slicing.
+
+Cell identity: every node corresponds to a spatial cell addressed by
+``(depth, path_key)`` where ``path_key`` is the node's Morton prefix (the
+``depth`` leading d-bit groups of its particles' Morton keys).  These keys
+are the "unique key computed for each branch node" of the paper's
+function-shipping protocol.
+
+A node can be a *remote leaf*: a placeholder for a subtree owned by
+another virtual processor (``remote_owner >= 0``).  ``build_tree`` never
+creates those; the distributed top-tree merge does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bh.morton import morton_keys
+from repro.bh.particles import Box, ParticleSet
+
+NO_CHILD = -1
+
+
+def cell_box(root: Box, depth: int, path_key: int) -> Box:
+    """Box of the cell addressed by ``(depth, path_key)`` under ``root``."""
+    d = root.dims
+    if depth < 0:
+        raise ValueError(f"negative cell depth {depth}")
+    if not 0 <= path_key < (1 << (d * depth)):
+        raise ValueError(f"path_key {path_key} invalid at depth {depth}")
+    box = root
+    for level in range(depth - 1, -1, -1):
+        octant = (path_key >> (d * level)) & ((1 << d) - 1)
+        box = box.child(octant)
+    return box
+
+
+@dataclass
+class Tree:
+    """Flat-array spatial tree.  See module docstring.
+
+    Node arrays (all length ``nnodes``):
+
+    - ``children``: (nnodes, 2^d) child node ids, ``NO_CHILD`` if absent
+    - ``depth``, ``path_key``: cell address
+    - ``center``, ``half``: node box
+    - ``start``, ``end``: slice into ``order`` (Morton-sorted particle
+      index array) — empty for remote leaves
+    - ``mass``, ``com``: monopole data (filled by ``compute_monopoles``)
+    - ``remote_owner``: owning rank of a remote-leaf placeholder, else -1
+    - ``remote_key``: branch key of a remote leaf, else -1
+    """
+
+    root_box: Box
+    dims: int
+    leaf_capacity: int
+    max_depth: int
+    children: np.ndarray
+    depth: np.ndarray
+    path_key: np.ndarray
+    center: np.ndarray
+    half: np.ndarray
+    start: np.ndarray
+    end: np.ndarray
+    order: np.ndarray
+    mass: np.ndarray = None  # type: ignore[assignment]
+    com: np.ndarray = None  # type: ignore[assignment]
+    remote_owner: np.ndarray = None  # type: ignore[assignment]
+    remote_key: np.ndarray = None  # type: ignore[assignment]
+    #: per-node interaction counters for DPDA load balancing
+    interactions: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        n = self.children.shape[0]
+        if self.remote_owner is None:
+            self.remote_owner = np.full(n, -1, dtype=np.int32)
+        if self.remote_key is None:
+            self.remote_key = np.full(n, -1, dtype=np.int64)
+        if self.interactions is None:
+            self.interactions = np.zeros(n, dtype=np.int64)
+        if self.mass is None:
+            self.mass = np.zeros(n)
+        if self.com is None:
+            self.com = np.zeros((n, self.dims))
+
+    ROOT = 0
+
+    @property
+    def nnodes(self) -> int:
+        return self.children.shape[0]
+
+    @property
+    def n_particles(self) -> int:
+        return self.order.size
+
+    def count(self, node: int) -> int:
+        return int(self.end[node] - self.start[node])
+
+    def is_leaf(self, node: int) -> bool:
+        return bool((self.children[node] == NO_CHILD).all())
+
+    def is_remote(self, node: int) -> bool:
+        return bool(self.remote_owner[node] >= 0)
+
+    def node_box(self, node: int) -> Box:
+        return Box(self.center[node], float(self.half[node]))
+
+    def particle_indices(self, node: int) -> np.ndarray:
+        """Original indices of the particles under ``node``."""
+        return self.order[self.start[node]:self.end[node]]
+
+    def leaves(self) -> np.ndarray:
+        return np.flatnonzero((self.children == NO_CHILD).all(axis=1))
+
+    def node_depth_max(self) -> int:
+        return int(self.depth.max()) if self.nnodes else 0
+
+    def compute_monopoles(self, particles: ParticleSet) -> None:
+        """Fill ``mass``/``com`` bottom-up from the particle slices.
+
+        Remote leaves are expected to have mass/com pre-filled by the
+        tree merge; they are left untouched.
+        """
+        pos, m = particles.positions, particles.masses
+        for node in range(self.nnodes - 1, -1, -1):
+            if self.is_remote(node):
+                continue
+            lo, hi = self.start[node], self.end[node]
+            if self.is_leaf(node):
+                idx = self.order[lo:hi]
+                mm = m[idx]
+                total = mm.sum()
+                self.mass[node] = total
+                if total > 0:
+                    self.com[node] = (mm[:, None] * pos[idx]).sum(axis=0) / total
+                else:
+                    self.com[node] = self.center[node]
+            else:
+                kids = self.children[node]
+                kids = kids[kids != NO_CHILD]
+                total = self.mass[kids].sum()
+                self.mass[node] = total
+                if total > 0:
+                    self.com[node] = (
+                        self.mass[kids, None] * self.com[kids]
+                    ).sum(axis=0) / total
+                else:
+                    self.com[node] = self.center[node]
+
+    def sum_interactions_up(self) -> None:
+        """Propagate per-node interaction counts to ancestors (DPDA:
+        "this variable is summed up along the tree").
+
+        Child ids are always greater than their parent id (the build
+        appends children after parents), so a reverse scan accumulates
+        correctly.
+        """
+        for node in range(self.nnodes - 1, -1, -1):
+            kids = self.children[node]
+            kids = kids[kids != NO_CHILD]
+            if kids.size:
+                self.interactions[node] += self.interactions[kids].sum()
+
+
+@dataclass
+class _Builder:
+    keys: np.ndarray       # Morton keys in sorted order
+    order: np.ndarray      # particle indices in Morton order
+    dims: int
+    bits: int
+    leaf_capacity: int
+    collapse_chains: bool
+    root_box: Box
+    children: list = field(default_factory=list)
+    depth: list = field(default_factory=list)
+    path_key: list = field(default_factory=list)
+    center: list = field(default_factory=list)
+    half: list = field(default_factory=list)
+    start: list = field(default_factory=list)
+    end: list = field(default_factory=list)
+
+    def build(self, lo: int, hi: int, depth: int, path_key: int,
+              box: Box) -> int:
+        d = self.dims
+        nkids = 1 << d
+        # Chain collapsing: while every particle falls in a single child,
+        # descend without materialising the chain node (bounds tree size
+        # for pathological pairs, as in Callahan-Kosaraju).
+        if self.collapse_chains:
+            while hi - lo > self.leaf_capacity and depth < self.bits:
+                shift = (self.bits - depth - 1) * d
+                first = (int(self.keys[lo]) >> shift) & (nkids - 1)
+                last = (int(self.keys[hi - 1]) >> shift) & (nkids - 1)
+                if first != last:
+                    break
+                depth += 1
+                path_key = (path_key << d) | first
+                box = box.child(first)
+
+        node = len(self.children)
+        self.children.append(np.full(nkids, NO_CHILD, dtype=np.int32))
+        self.depth.append(depth)
+        self.path_key.append(path_key)
+        self.center.append(box.center)
+        self.half.append(box.half)
+        self.start.append(lo)
+        self.end.append(hi)
+
+        if hi - lo > self.leaf_capacity and depth < self.bits:
+            shift = (self.bits - depth - 1) * d
+            groups = (self.keys[lo:hi] >> shift) & (nkids - 1)
+            bounds = np.searchsorted(groups, np.arange(nkids + 1)) + lo
+            for c in range(nkids):
+                clo, chi = int(bounds[c]), int(bounds[c + 1])
+                if chi > clo:
+                    self.children[node][c] = self.build(
+                        clo, chi, depth + 1, (path_key << d) | c,
+                        box.child(c)
+                    )
+        return node
+
+
+def build_tree(particles: ParticleSet, box: Box | None = None,
+               leaf_capacity: int = 8, max_depth: int | None = None,
+               collapse_chains: bool = True,
+               compute_monopoles: bool = True) -> Tree:
+    """Build a Barnes-Hut tree over ``particles``.
+
+    Parameters
+    ----------
+    box:
+        Root cell.  Defaults to the bounding cube of the particles.  For
+        distributed construction the caller passes the *global* cell of
+        its subdomain so path keys are globally consistent.
+    leaf_capacity:
+        The paper's ``s``: a cell with more than ``s`` particles is split.
+    max_depth:
+        Maximum refinement depth (defaults to the Morton key limit for
+        the dimensionality).
+    collapse_chains:
+        Skip chains of single-occupied-child cells (box collapsing).
+    """
+    if leaf_capacity < 1:
+        raise ValueError(f"leaf capacity must be >= 1, got {leaf_capacity}")
+    if particles.n == 0:
+        raise ValueError("cannot build a tree over zero particles; "
+                         "use an explicit empty-domain representation")
+    if box is None:
+        box = particles.bounding_box()
+    if box.dims != particles.dims:
+        raise ValueError("box dimensionality does not match particles")
+    from repro.bh import morton as _m
+    limit = _m.MAX_BITS_2D if particles.dims == 2 else _m.MAX_BITS_3D
+    bits = limit if max_depth is None else max_depth
+    if not 0 < bits <= limit:
+        raise ValueError(f"max_depth must be in (0, {limit}]")
+
+    inside = box.contains(particles.positions)
+    if not inside.all():
+        raise ValueError(
+            f"{int((~inside).sum())} particles fall outside the root box"
+        )
+
+    keys = morton_keys(particles.positions, box.lo, box.side, bits)
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    sorted_keys = keys[order]
+
+    builder = _Builder(keys=sorted_keys, order=order, dims=particles.dims,
+                       bits=bits, leaf_capacity=leaf_capacity,
+                       collapse_chains=collapse_chains, root_box=box)
+    builder.build(0, particles.n, 0, 0, box)
+
+    tree = Tree(
+        root_box=box,
+        dims=particles.dims,
+        leaf_capacity=leaf_capacity,
+        max_depth=bits,
+        children=np.stack(builder.children),
+        depth=np.asarray(builder.depth, dtype=np.int32),
+        path_key=np.asarray(builder.path_key, dtype=np.int64),
+        center=np.stack(builder.center),
+        half=np.asarray(builder.half, dtype=np.float64),
+        start=np.asarray(builder.start, dtype=np.int64),
+        end=np.asarray(builder.end, dtype=np.int64),
+        order=order,
+    )
+    if compute_monopoles:
+        tree.compute_monopoles(particles)
+    return tree

@@ -1,0 +1,67 @@
+"""SPSA: static Gray-code modular assignment of clusters to processors.
+
+Paper, Section 3.3.1: "For a two-dimensional simulation running on a
+d-dimensional hypercube, subdomain (i, j) is assigned to processor
+(gray(i, d/2), gray(j, d/2))" — i.e. the processor label is the
+concatenation of per-axis Gray codes of the cluster coordinates taken
+modulo the per-axis processor-grid extent.  Adjacent subdomains land on
+hypercube neighbours, and the scatter (modular) structure spreads dense
+regions over many processors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.topology import gray_code, is_power_of_two, log2_exact
+from repro.core.partition import cluster_coords
+
+
+def axis_split(p: int, dims: int) -> list[int]:
+    """Split hypercube dimension ``log2 p`` across spatial axes as evenly
+    as possible: the per-axis processor-grid extents (powers of two)."""
+    if not is_power_of_two(p):
+        raise ValueError(
+            f"SPSA's Gray-code mapping needs a power-of-two processor "
+            f"count, got {p}"
+        )
+    d = log2_exact(p)
+    base, extra = divmod(d, dims)
+    return [1 << (base + (1 if a < extra else 0)) for a in range(dims)]
+
+
+def spsa_assignment(grid_level: int, p: int, dims: int) -> np.ndarray:
+    """Owner rank of every cluster: array of length r = 2^(dims*level).
+
+    Index ``k`` of the result is the cluster *path key* (Morton number of
+    the cluster); the value is the owning processor.
+    """
+    if grid_level < 0:
+        raise ValueError("grid_level must be >= 0")
+    r = 1 << (dims * grid_level)
+    splits = axis_split(p, dims)
+    per_axis = 1 << grid_level
+    for extent in splits:
+        if extent > per_axis:
+            raise ValueError(
+                f"cluster grid {per_axis}^{dims} too coarse for {p} "
+                f"processors: need at least one cluster column per "
+                f"processor column (extent {extent})"
+            )
+    coords = cluster_coords(np.arange(r, dtype=np.int64), dims)
+    owners = np.zeros(r, dtype=np.int64)
+    shift = 0
+    # Build the label from the last axis up so axis 0's bits are the most
+    # significant — an arbitrary but fixed convention.
+    for axis in range(dims - 1, -1, -1):
+        extent = splits[axis]
+        g = np.array([gray_code(int(c) % extent)
+                      for c in coords[:, axis]], dtype=np.int64)
+        owners |= g << shift
+        shift += log2_exact(extent)
+    return owners
+
+
+def clusters_of_rank(owners: np.ndarray, rank: int) -> np.ndarray:
+    """Cluster path keys owned by ``rank`` (sorted, i.e. Morton order)."""
+    return np.flatnonzero(owners == rank).astype(np.int64)

@@ -1,0 +1,241 @@
+"""Particle bins and the function-shipping wire protocol (Section 3.2).
+
+Remote interaction requests — (particle coordinates, branch key) records —
+are collected into per-destination *bins* of ``bin_capacity`` particles
+(the paper uses ~100, "selected so that the interprocessor communication
+latency and memory latency at remote processor can be amortized over
+several particles") and shipped when full.
+
+Flow control: "we do not allow two bins to be outstanding between the
+same source-destination pair...  processor i must stop processing local
+nodes and process outstanding nodes received from other processors."
+Sends are buffered (eager protocol), so the rule is modelled rather than
+enforced by blocking: every oversubscribed send is counted as a
+flow-control stall, and the round-trip latency of each bin is folded into
+the requester's clock when its result is received.  The service and
+collection loops run in a fixed rank order, which keeps every virtual
+clock fully deterministic regardless of real thread scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.machine.comm import Comm
+from repro.machine.costmodel import (
+    FORCE_RECORD_BYTES,
+    PARTICLE_RECORD_BYTES,
+    POTENTIAL_RECORD_BYTES,
+)
+
+#: Tags for the two directions of function-shipping traffic.
+TAG_REQUEST = 7001
+TAG_RESULT = 7002
+
+
+@dataclass
+class RequestBin:
+    """A bin of remote-interaction requests bound for one processor."""
+
+    slots: np.ndarray    # sender-local particle slots (echoed back)
+    keys: np.ndarray     # branch keys, one per record
+    coords: np.ndarray   # (n, d) particle coordinates
+
+    @property
+    def n(self) -> int:
+        return self.slots.size
+
+    @property
+    def nbytes(self) -> int:
+        return PARTICLE_RECORD_BYTES * self.n
+
+
+@dataclass
+class ResultBin:
+    """Computed potentials/forces heading back to the requester."""
+
+    slots: np.ndarray
+    values: np.ndarray   # (n,) potentials or (n, d) forces
+
+    @property
+    def n(self) -> int:
+        return self.slots.size
+
+    @property
+    def nbytes(self) -> int:
+        per = (POTENTIAL_RECORD_BYTES if self.values.ndim == 1
+               else FORCE_RECORD_BYTES)
+        return per * self.n
+
+
+@dataclass
+class ShipStats:
+    """Per-rank function-shipping counters (for the Section 4.2 benches)."""
+
+    request_bins_sent: int = 0
+    request_records_sent: int = 0
+    request_bytes_sent: int = 0
+    result_records_returned: int = 0
+    flow_control_stalls: int = 0
+
+
+class BinManager:
+    """Accumulates, ships, serves and drains function-shipping bins."""
+
+    def __init__(self, comm: Comm, capacity: int, dims: int,
+                 serve: Callable[[RequestBin], np.ndarray],
+                 accumulate: Callable[[np.ndarray, np.ndarray], None]):
+        """
+        Parameters
+        ----------
+        serve:
+            Computes interaction values for a request bin's records
+            (owner-side work: the entire-subtree evaluation).
+        accumulate:
+            Called with (slots, values) when a result bin returns.
+        """
+        if capacity < 1:
+            raise ValueError(f"bin capacity must be >= 1, got {capacity}")
+        self.comm = comm
+        self.capacity = capacity
+        self.dims = dims
+        self._serve = serve
+        self._accumulate = accumulate
+        self._pending: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+        self._pending_count: dict[int, int] = {}
+        self._outstanding: dict[int, int] = {}
+        self.records_sent = 0
+        self.records_received_back = 0
+        self.records_served = 0
+        self.stats = ShipStats()
+        self._sent_records_to: dict[int, int] = {}
+        self._bins_sent_to: dict[int, int] = {}
+
+    # ------------------------------------------------------------- sending
+    def add_requests(self, dst: int, slots: np.ndarray, keys: np.ndarray,
+                     coords: np.ndarray) -> None:
+        """Queue records for ``dst``; ships bins as they fill."""
+        if not (slots.size == keys.size == coords.shape[0]):
+            raise ValueError("request record arrays disagree in length")
+        if slots.size == 0:
+            return
+        if dst == self.comm.rank:
+            raise ValueError("local interactions are not shipped")
+        self._pending.setdefault(dst, []).append((slots, keys, coords))
+        self._pending_count[dst] = self._pending_count.get(dst, 0) + slots.size
+        while self._pending_count.get(dst, 0) >= self.capacity:
+            self._ship(dst, self.capacity)
+
+    def flush(self) -> None:
+        """Ship every partially filled bin (end of the traversal phase)."""
+        for dst in sorted(self._pending):
+            while self._pending_count.get(dst, 0) > 0:
+                self._ship(dst, self.capacity)
+
+    def _take(self, dst: int, n: int) -> RequestBin:
+        slots_parts, keys_parts, coords_parts = [], [], []
+        taken = 0
+        chunks = self._pending[dst]
+        while taken < n and chunks:
+            s, k, c = chunks[0]
+            room = n - taken
+            if s.size <= room:
+                slots_parts.append(s)
+                keys_parts.append(k)
+                coords_parts.append(c)
+                taken += s.size
+                chunks.pop(0)
+            else:
+                slots_parts.append(s[:room])
+                keys_parts.append(k[:room])
+                coords_parts.append(c[:room])
+                chunks[0] = (s[room:], k[room:], c[room:])
+                taken += room
+        self._pending_count[dst] -= taken
+        return RequestBin(
+            slots=np.concatenate(slots_parts),
+            keys=np.concatenate(keys_parts),
+            coords=np.concatenate(coords_parts),
+        )
+
+    def _ship(self, dst: int, n: int) -> None:
+        n = min(n, self._pending_count.get(dst, 0))
+        if n == 0:
+            return
+        if self._outstanding.get(dst, 0) > 0:
+            # One-outstanding-bin rule: a real machine would stop local
+            # work here and serve remote requests until the previous bin
+            # is acknowledged.  With buffered sends the stall is recorded
+            # (its round-trip latency still reaches the clock when the
+            # result is received).
+            self.stats.flow_control_stalls += 1
+        bin_ = self._take(dst, n)
+        self.comm.send(bin_, dst, tag=TAG_REQUEST, nbytes=bin_.nbytes)
+        self._outstanding[dst] = self._outstanding.get(dst, 0) + 1
+        self._bins_sent_to[dst] = self._bins_sent_to.get(dst, 0) + 1
+        self.records_sent += bin_.n
+        self._sent_records_to[dst] = \
+            self._sent_records_to.get(dst, 0) + bin_.n
+        self.stats.request_bins_sent += 1
+        self.stats.request_records_sent += bin_.n
+        self.stats.request_bytes_sent += bin_.nbytes
+
+    def stats_per_destination(self) -> dict[int, int]:
+        """Records shipped per destination rank."""
+        return dict(self._sent_records_to)
+
+    # ------------------------------------------------------------ receiving
+    def _serve_one(self, src: int, bin_: RequestBin) -> None:
+        values = self._serve(bin_)
+        result = ResultBin(slots=bin_.slots, values=values)
+        self.comm.send(result, src, tag=TAG_RESULT, nbytes=result.nbytes)
+        self.records_served += bin_.n
+
+    def _accept_result(self, src: int, rbin: ResultBin) -> None:
+        self._accumulate(rbin.slots, rbin.values)
+        self.records_received_back += rbin.n
+        self.stats.result_records_returned += rbin.n
+        self._outstanding[src] = self._outstanding.get(src, 1) - 1
+
+    def complete(self) -> None:
+        """Finish the exchange: flush, swap bin counts, serve every
+        incoming request, collect every result.
+
+        Requests are served in virtual-arrival order (FIFO by arrival,
+        as the paper's polling loop would), which is deterministic
+        because sender clocks are.  Per-pair sentinel markers replace a
+        terminating collective, so a rank starts serving from its *own*
+        clock — service overlaps other ranks' traversal exactly as on
+        the real machine.  Deadlock-free by construction: all requests
+        and sentinels are buffered on the wire before any rank blocks,
+        and all results are sent during the service pass.
+        """
+        self.flush()
+        comm = self.comm
+        # End-of-stream markers: each rank tells every other how many
+        # request bins it sent (a tiny control message; the decentralized
+        # replacement for a terminating barrier, so service can begin as
+        # soon as the first request virtually arrives).
+        for dst in range(comm.size):
+            if dst != comm.rank:
+                comm.send({"sentinel": self._bins_sent_to.get(dst, 0)},
+                          dst, tag=TAG_REQUEST, nbytes=4)
+        raw = []
+        for src in range(comm.size):
+            if src != comm.rank:
+                raw.extend(comm.collect_raw(
+                    src, TAG_REQUEST,
+                    lambda p: isinstance(p, dict) and "sentinel" in p,
+                ))
+        raw.sort()
+        for msg in raw:
+            comm.charge_recv(msg)
+            if isinstance(msg.payload, dict) and "sentinel" in msg.payload:
+                continue
+            self._serve_one(msg.src, msg.payload)
+        to_collect = {dst: n for dst, n in self._bins_sent_to.items() if n}
+        for msg in comm.recv_sorted(to_collect, TAG_RESULT):
+            self._accept_result(msg.src, msg.payload)

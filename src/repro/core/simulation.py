@@ -1,0 +1,408 @@
+"""The parallel Barnes-Hut simulation orchestrator.
+
+``ParallelBarnesHut`` runs the paper's full per-time-step pipeline on the
+virtual machine:
+
+    decompose / balance -> exchange particles -> build local trees ->
+    exchange branch nodes, merge top tree -> function-shipping force
+    computation -> advance particles
+
+with every phase attributed to the virtual clock under the paper's phase
+names (Table 3): "local tree construction", "tree merging", "all-to-all
+broadcast", "force computation", "load balancing".
+
+Scheme-specific decomposition:
+
+* SPSA — static Gray-code assignment of grid clusters; the particle
+  placement is charged to setup, never to load balancing ("the SPSA
+  scheme spends no time in balancing load since load balance is
+  implicit").
+* SPDA — grid clusters re-assigned each step along the Morton order by
+  the loads measured in the previous step.
+* DPDA — Costzones: global load boundaries located in the
+  interaction-counting trees; Morton key-space ranges per processor,
+  turned into branch cells by canonical cover; one all-to-all
+  personalized communication moves the particles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bh import morton as _morton
+from repro.bh.morton import morton_keys
+from repro.bh.particles import Box, ParticleSet
+from repro.core.assignment import clusters_of_rank, spsa_assignment
+from repro.core.config import SchemeConfig
+from repro.core.function_shipping import ForceResult, FunctionShippingEngine
+from repro.core.load_model import cluster_loads, particle_loads
+from repro.core.morton_assign import balance_clusters
+from repro.core.partition import Cell, cluster_keys, cover_cells
+from repro.core.tree_build import build_local_trees, local_branch_infos, \
+    tree_build_flops
+from repro.core.tree_merge import merge_broadcast, merge_nonreplicated
+from repro.machine.comm import Comm
+from repro.machine.costmodel import MachineProfile
+from repro.machine.engine import Engine, RunReport
+from repro.machine.profiles import NCUBE2
+
+PHASE_SETUP = "setup"
+PHASE_BALANCE = "load balancing"
+PHASE_TREE = "local tree construction"
+PHASE_ADVANCE = "particle advance"
+
+#: flops charged per particle for balance bookkeeping / binning.
+BALANCE_FLOPS_PER_PARTICLE = 5.0
+
+
+@dataclass
+class StepResult:
+    """Per-rank record of one time-step (returned to the host)."""
+
+    n_local: int
+    force: ForceResult
+    moved_in: int = 0      # particles received in the balancing exchange
+    virtual_seconds: float = 0.0   # this rank's clock time for the step
+
+
+@dataclass
+class SimulationResult:
+    """Host-side aggregate of a parallel run."""
+
+    run: RunReport
+    config: SchemeConfig
+    values: np.ndarray         # final-step potentials (n,) or forces (n, d)
+    positions: np.ndarray      # final particle positions, original order
+    velocities: np.ndarray
+    steps: list[list[StepResult]]   # [step][rank]
+
+    @property
+    def parallel_time(self) -> float:
+        return self.run.parallel_time
+
+    def phase_breakdown(self) -> dict[str, float]:
+        return self.run.phase_max()
+
+    def force_computations(self) -> int:
+        """Total interactions F, the quantity the paper annotates its
+        problem instances with (cluster + particle-particle)."""
+        return sum(
+            sr.force.cluster_interactions + sr.force.p2p_interactions
+            for step in self.steps for sr in step
+        )
+
+    def total_flops(self, degree: int) -> float:
+        from repro.analysis.flops import traversal_flops
+        return sum(
+            traversal_flops(sr.force.mac_tests,
+                            sr.force.cluster_interactions,
+                            sr.force.p2p_interactions, degree)
+            for step in self.steps for sr in step
+        )
+
+    def load_imbalance(self) -> float:
+        return self.run.load_imbalance("force computation")
+
+    def step_time(self, step: int) -> float:
+        """Virtual time of one step: max over ranks (the paper times a
+        single iteration after a few warm-up steps)."""
+        return max(sr.virtual_seconds for sr in self.steps[step])
+
+    @property
+    def last_step_time(self) -> float:
+        return self.step_time(len(self.steps) - 1)
+
+
+def _exchange(comm: Comm, particles: ParticleSet,
+              owners: np.ndarray) -> ParticleSet:
+    """All-to-all personalized particle movement to new owners."""
+    outgoing = []
+    for dst in range(comm.size):
+        idx = np.flatnonzero(owners == dst)
+        outgoing.append(particles.subset(idx) if idx.size else None)
+    comm.compute(BALANCE_FLOPS_PER_PARTICLE * particles.n)
+    incoming = comm.alltoall(outgoing)
+    non_empty = [ps for ps in incoming if ps is not None and ps.n]
+    if not non_empty:
+        return ParticleSet.empty(particles.dims)
+    return ParticleSet.concatenate(non_empty)
+
+
+class _RankState:
+    """Everything a rank carries across time-steps."""
+
+    def __init__(self, comm: Comm, config: SchemeConfig, root: Box,
+                 bits: int, particles: ParticleSet):
+        self.comm = comm
+        self.config = config
+        self.root = root
+        self.bits = bits
+        self.particles = particles
+        self.dims = root.dims
+        # SPSA/SPDA cluster state
+        self.cluster_owners: np.ndarray | None = None
+        self.cluster_load: np.ndarray | None = None
+        # DPDA state
+        self.key_boundaries: np.ndarray | None = None
+        self.my_particle_loads: np.ndarray | None = None
+
+    # -------------------------------------------------- decomposition
+    def decompose(self, step: int) -> list[Cell]:
+        cfg, comm = self.config, self.comm
+        phase = PHASE_SETUP if step == 0 else PHASE_BALANCE
+        if cfg.scheme == "spsa":
+            # Assignment is static; placement cost is setup, always.
+            with comm.clock.phase(PHASE_SETUP):
+                if self.cluster_owners is None:
+                    self.cluster_owners = spsa_assignment(
+                        cfg.grid_level, comm.size, self.dims
+                    )
+                keys = cluster_keys(self.particles.positions, self.root,
+                                    cfg.grid_level)
+                owners = self.cluster_owners[keys]
+                self.particles = _exchange(comm, self.particles, owners)
+            return [Cell(cfg.grid_level, int(k)) for k in
+                    clusters_of_rank(self.cluster_owners, comm.rank)]
+
+        if cfg.scheme == "spda":
+            with comm.clock.phase(phase):
+                r = cfg.clusters(self.dims)
+                if self.cluster_load is None:
+                    # First iteration: particle counts stand in for load.
+                    local = np.zeros(r)
+                    keys = cluster_keys(self.particles.positions,
+                                        self.root, cfg.grid_level)
+                    np.add.at(local, keys, 1.0)
+                else:
+                    local = self.cluster_load
+                loads = comm.allreduce(local, lambda a, b: a + b)
+                self.cluster_owners, _ = balance_clusters(
+                    loads, self.cluster_owners, comm.size
+                )
+                comm.compute(2.0 * r)  # prefix scan over the sorted list
+                keys = cluster_keys(self.particles.positions, self.root,
+                                    cfg.grid_level)
+                owners = self.cluster_owners[keys]
+                self.particles = _exchange(comm, self.particles, owners)
+            return [Cell(cfg.grid_level, int(k)) for k in
+                    clusters_of_rank(self.cluster_owners, comm.rank)]
+
+        # DPDA
+        with comm.clock.phase(phase):
+            keys = morton_keys(self.particles.positions, self.root.lo,
+                               self.root.side, self.bits)
+            order = np.argsort(keys, kind="stable")
+            keys_sorted = keys[order]
+            loads = (self.my_particle_loads[order]
+                     if self.my_particle_loads is not None
+                     and self.my_particle_loads.size == keys.size
+                     else np.ones(keys.size))
+            # Global prefix structure: every rank owns a contiguous key
+            # range (invariant after step 0; before it, ranks were dealt
+            # Morton-contiguous chunks by the host).
+            totals = comm.allgather(float(loads.sum()))
+            W = sum(totals)
+            cum_before = sum(totals[:comm.rank])
+            cum_incl = cum_before + totals[comm.rank]
+            boundaries_local = []
+            span = 1 << (self.dims * self.bits)
+            if W > 0:
+                # Boundary target i W / p is located by exactly one rank:
+                # the one whose cumulative load range (cum_before,
+                # cum_incl] contains it.  That rank reports the key of the
+                # first local particle reaching the target.
+                prefix = cum_before + np.cumsum(loads)
+                for i in range(1, comm.size):
+                    t = i * W / comm.size
+                    if cum_before < t <= cum_incl and keys.size:
+                        j = int(np.searchsorted(prefix, t, side="left"))
+                        j = min(j, keys.size - 1)
+                        boundaries_local.append(int(keys_sorted[j]))
+            all_bnd = comm.allgather(boundaries_local)
+            flat = sorted(b for lst in all_bnd for b in lst)
+            # Degenerate cases (W == 0, or a boundary target landing in a
+            # zero-load gap) leave fewer than p-1 reports; missing
+            # boundaries collapse to the end of key space (empty ranges).
+            while len(flat) < comm.size - 1:
+                flat.append(span)
+            self.key_boundaries = np.asarray(flat[:comm.size - 1],
+                                             dtype=np.int64)
+            owners = np.searchsorted(self.key_boundaries, keys,
+                                     side="right")
+            comm.compute(BALANCE_FLOPS_PER_PARTICLE * keys.size)
+            self.particles = _exchange(comm, self.particles, owners)
+        bounds = np.concatenate(([0], self.key_boundaries, [span]))
+        lo, hi = int(bounds[comm.rank]), int(bounds[comm.rank + 1])
+        return cover_cells(lo, hi, self.bits, self.dims)
+
+    # ------------------------------------------------------- one step
+    def step(self, step_no: int, dt: float | None) -> StepResult:
+        comm, cfg = self.comm, self.config
+        cells = self.decompose(step_no)
+        before = self.particles.n
+
+        with comm.clock.phase(PHASE_TREE):
+            subtrees = build_local_trees(self.particles, cells, self.root,
+                                         cfg, self.bits)
+            depth = max((st.tree.node_depth_max() for st in subtrees
+                         if st.tree is not None), default=1)
+            comm.compute(tree_build_flops(self.particles.n, depth))
+            branches = local_branch_infos(subtrees, comm.rank, self.root,
+                                          cfg.degree)
+
+        if cfg.merge == "broadcast":
+            top = merge_broadcast(comm, branches, self.root, cfg.degree,
+                                  cfg.branch_lookup)
+        else:
+            top = merge_nonreplicated(comm, branches, self.root,
+                                      cfg.degree, cfg.branch_lookup)
+
+        engine = FunctionShippingEngine(comm, cfg, top, subtrees,
+                                        self.particles)
+        force = engine.run()
+
+        # Measured loads feed the *next* step's balancer: subtree
+        # interaction counters (owner-side work, in model flops) plus the
+        # requester-side top-tree cost attributed to each local particle.
+        from repro.analysis.flops import interaction_flops
+        per_int = interaction_flops(cfg.degree)
+        if cfg.scheme == "spda":
+            r = cfg.clusters(self.dims)
+            arr = np.zeros(r)
+            for key, load in cluster_loads(subtrees).items():
+                arr[key] = load * per_int
+            if self.particles.n:
+                keys = cluster_keys(self.particles.positions, self.root,
+                                    cfg.grid_level)
+                np.add.at(arr, keys, engine.requester_flops)
+            self.cluster_load = arr
+        elif cfg.scheme == "dpda":
+            self.my_particle_loads = (
+                particle_loads(subtrees, self.particles.n) * per_int
+                + engine.requester_flops
+            )
+
+        if dt is not None and self.particles.n:
+            with comm.clock.phase(PHASE_ADVANCE):
+                if cfg.mode != "force":
+                    raise ValueError(
+                        "advancing particles requires mode='force'"
+                    )
+                self.particles.velocities += dt * force.values
+                self.particles.positions += dt * self.particles.velocities
+                np.clip(self.particles.positions, self.root.lo,
+                        self.root.hi - 1e-9 * self.root.side,
+                        out=self.particles.positions)
+                comm.compute(6.0 * self.dims * self.particles.n)
+
+        self._last_values = force.values
+        return StepResult(n_local=self.particles.n, force=force,
+                          moved_in=self.particles.n - before)
+
+
+def _rank_main(comm: Comm, config: SchemeConfig, root: Box, bits: int,
+               steps: int, dt: float | None, shard: ParticleSet):
+    state = _RankState(comm, config, root, bits, shard)
+    results = []
+    for i in range(steps):
+        t0 = comm.now
+        sr = state.step(i, dt)
+        sr.virtual_seconds = comm.now - t0
+        results.append(sr)
+    return {
+        "steps": results,
+        "ids": state.particles.ids,
+        "values": state._last_values,
+        "positions": state.particles.positions,
+        "velocities": state.particles.velocities,
+    }
+
+
+class ParallelBarnesHut:
+    """Host-side entry point: run a parallel Barnes-Hut simulation.
+
+    Parameters
+    ----------
+    particles:
+        The global particle set (the host deals Morton-contiguous chunks
+        to the virtual processors; every scheme rebalances from there).
+    config:
+        Scheme parameters.
+    p:
+        Number of virtual processors.
+    profile:
+        Virtual machine profile (default nCUBE2).
+    bits:
+        Morton key depth for decomposition; default 12 (3-D) is ample
+        for bench-scale instances while keeping cover cells small.
+    """
+
+    def __init__(self, particles: ParticleSet, config: SchemeConfig,
+                 p: int, profile: MachineProfile = NCUBE2,
+                 root: Box | None = None, bits: int | None = None,
+                 recv_timeout: float | None = 600.0):
+        if particles.n == 0:
+            raise ValueError("cannot simulate zero particles")
+        if p < 1:
+            raise ValueError("need at least one processor")
+        self.particles = particles
+        self.config = config
+        self.p = p
+        self.profile = profile
+        self.root = root if root is not None else particles.bounding_box()
+        limit = (_morton.MAX_BITS_2D if particles.dims == 2
+                 else _morton.MAX_BITS_3D)
+        self.bits = bits if bits is not None else min(12, limit)
+        if not config.grid_level <= self.bits <= limit:
+            raise ValueError(
+                f"bits must lie in [{config.grid_level}, {limit}]"
+            )
+        if config.scheme == "spsa" and p > config.clusters(particles.dims):
+            raise ValueError(
+                f"SPSA needs r >= p: {config.clusters(particles.dims)} "
+                f"clusters < {p} processors"
+            )
+        self.recv_timeout = recv_timeout
+
+    def _shards(self) -> list[ParticleSet]:
+        keys = morton_keys(self.particles.positions, self.root.lo,
+                           self.root.side, self.bits)
+        order = np.argsort(keys, kind="stable")
+        chunks = np.array_split(order, self.p)
+        return [self.particles.subset(c) for c in chunks]
+
+    def run(self, steps: int = 1, dt: float | None = None) -> SimulationResult:
+        if steps < 1:
+            raise ValueError("need at least one step")
+        engine = Engine(self.p, self.profile,
+                        recv_timeout=self.recv_timeout)
+        report = engine.run(
+            _rank_main, self.config, self.root, self.bits, steps, dt,
+            rank_args=[(shard,) for shard in self._shards()],
+        )
+
+        n = self.particles.n
+        d = self.particles.dims
+        values = (np.zeros(n) if self.config.mode == "potential"
+                  else np.zeros((n, d)))
+        positions = np.zeros((n, d))
+        velocities = np.zeros((n, d))
+        id_to_slot = {int(i): s for s, i in enumerate(self.particles.ids)}
+        for out in report.values:
+            slots = np.array([id_to_slot[int(i)] for i in out["ids"]],
+                             dtype=np.int64)
+            if slots.size:
+                values[slots] = out["values"]
+                positions[slots] = out["positions"]
+                velocities[slots] = out["velocities"]
+        step_results = [
+            [report.values[r]["steps"][s] for r in range(self.p)]
+            for s in range(steps)
+        ]
+        return SimulationResult(
+            run=report, config=self.config, values=values,
+            positions=positions, velocities=velocities,
+            steps=step_results,
+        )

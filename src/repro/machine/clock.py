@@ -1,0 +1,80 @@
+"""Per-rank virtual clocks with named-phase accounting.
+
+Every rank owns one :class:`VirtualClock`.  The clock only moves when the
+algorithm charges it (compute flops, message start-ups, waits until a
+message's virtual arrival).  Phase accounting attributes elapsed virtual
+time to named phases ("tree build", "force", ...) so the engine can emit
+the per-phase breakdown of the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseTimings:
+    """Accumulated virtual seconds per named phase for one rank."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, dt: float) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + dt
+
+    def get(self, phase: str) -> float:
+        return self.seconds.get(phase, 0.0)
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def merged_with(self, other: "PhaseTimings") -> "PhaseTimings":
+        out = PhaseTimings(dict(self.seconds))
+        for phase, dt in other.seconds.items():
+            out.add(phase, dt)
+        return out
+
+
+class VirtualClock:
+    """Deterministic virtual clock for one rank.
+
+    The clock starts at 0.  ``advance`` moves it forward by a duration;
+    ``wait_until`` moves it forward to an absolute time (no-op if already
+    past).  Each movement is attributed to the innermost active phase
+    (default phase: ``"other"``).
+    """
+
+    DEFAULT_PHASE = "other"
+
+    def __init__(self):
+        self.now = 0.0
+        self.timings = PhaseTimings()
+        self._phase_stack: list[str] = []
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else self.DEFAULT_PHASE
+
+    def advance(self, dt: float, phase: str | None = None) -> None:
+        """Move the clock forward by ``dt`` virtual seconds."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt {dt}")
+        self.now += dt
+        self.timings.add(phase or self.current_phase, dt)
+
+    def wait_until(self, t: float, phase: str | None = None) -> None:
+        """Move the clock to absolute virtual time ``t`` if it is behind."""
+        if t > self.now:
+            self.advance(t - self.now, phase=phase)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute clock movement inside the block to phase ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield self
+        finally:
+            self._phase_stack.pop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self.now:.6f})"

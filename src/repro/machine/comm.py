@@ -1,0 +1,250 @@
+"""MPI-like communicator bound to one virtual rank.
+
+Timing rules (documented once here, relied on everywhere):
+
+* ``send``: the sender's clock advances by ``t_s + nbytes * t_w`` (it owns
+  the channel for the start-up and the transfer).  The message's virtual
+  *arrival* time is the sender's clock after that charge plus the per-hop
+  network term ``hops(src, dst) * t_h``.
+* ``recv``: the receiver first waits (virtually) until the message's
+  arrival time, then pays a copy-out charge of ``nbytes * t_w``.
+* ``compute(flops)``: advances the clock by ``flops / flops_per_second``.
+
+All collectives are implemented over these primitives
+(:mod:`repro.machine.collectives`), so their virtual cost automatically
+reflects the machine's topology and parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.machine.clock import VirtualClock
+from repro.machine.costmodel import CostModel
+from repro.machine.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
+from repro.machine import collectives as _coll
+
+
+def estimate_nbytes(payload: Any) -> int:
+    """Estimate the wire size of a payload.
+
+    Algorithms that care about exact wire sizes (function-shipping bins,
+    multipole series) pass ``nbytes`` explicitly; this estimator covers
+    control messages.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, np.integer)):
+        return 8
+    if isinstance(payload, (float, np.floating)):
+        return 8
+    if isinstance(payload, complex):
+        return 16
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, dict):
+        return sum(estimate_nbytes(k) + estimate_nbytes(v)
+                   for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(estimate_nbytes(v) for v in payload)
+    if hasattr(payload, "nbytes"):
+        nb = payload.nbytes
+        return int(nb() if callable(nb) else nb)
+    # Unknown object: charge a pointer-sized token.  Tests pin this.
+    return 8
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication counters (payload bytes, not headers)."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_received: int = 0
+    bytes_received: int = 0
+    bytes_by_tag: dict[int, int] = field(default_factory=dict)
+
+    def record_send(self, tag: int, nbytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + nbytes
+
+    def record_recv(self, nbytes: int) -> None:
+        self.messages_received += 1
+        self.bytes_received += nbytes
+
+
+class Comm:
+    """Communicator handed to each rank's main function."""
+
+    ANY_SOURCE = ANY_SOURCE
+    ANY_TAG = ANY_TAG
+
+    def __init__(self, rank: int, size: int, cost: CostModel,
+                 mailboxes: list[Mailbox], recv_timeout: float | None = 120.0):
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        self.rank = rank
+        self.size = size
+        self.cost = cost
+        self.clock = VirtualClock()
+        self.stats = CommStats()
+        self._mailboxes = mailboxes
+        self._recv_timeout = recv_timeout
+
+    # ----------------------------------------------------------------- time
+    def compute(self, flops: float, phase: str | None = None) -> None:
+        """Charge ``flops`` floating-point operations of local work."""
+        self.clock.advance(self.cost.compute_time(flops), phase=phase)
+
+    def phase(self, name: str):
+        """Context manager attributing virtual time to phase ``name``."""
+        return self.clock.phase(name)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    # ----------------------------------------------------- point to point
+    def send(self, payload: Any, dst: int, tag: int = 0,
+             nbytes: int | None = None) -> None:
+        """Send ``payload`` to rank ``dst`` (non-blocking buffered send)."""
+        if not 0 <= dst < self.size:
+            raise ValueError(f"destination rank {dst} out of range")
+        if nbytes is None:
+            nbytes = estimate_nbytes(payload)
+        p = self.cost.profile
+        if dst == self.rank:
+            arrival = self.clock.now  # local delivery is free
+        else:
+            self.clock.advance(p.t_s + nbytes * p.t_w)
+            hops = self.cost.topology.hops(self.rank, dst)
+            arrival = self.clock.now + hops * p.t_h
+        self.stats.record_send(tag, nbytes)
+        self._mailboxes[dst].put(
+            Message(arrival=arrival, src=self.rank, tag=tag,
+                    payload=payload, nbytes=nbytes)
+        )
+
+    # ``isend`` is an alias: the buffered send above never blocks in real
+    # time, and its virtual charge models an eager-protocol send.
+    isend = send
+
+    def recv_msg(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
+        """Blocking matched receive returning the full message record."""
+        msg = self._mailboxes[self.rank].get(src, tag,
+                                             timeout=self._recv_timeout)
+        self._finish_recv(msg)
+        return msg
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking matched receive returning just the payload."""
+        return self.recv_msg(src, tag).payload
+
+    def poll_msg(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message | None:
+        """Non-blocking receive.
+
+        Only messages whose virtual arrival time is at or before this
+        rank's current clock are visible — a rank cannot react to a message
+        "from the future".  Returns ``None`` when nothing has arrived.
+        """
+        box = self._mailboxes[self.rank]
+        msg = box.poll(src, tag)
+        if msg is None:
+            return None
+        if msg.arrival > self.clock.now:
+            box.put(msg)  # not virtually here yet; put it back
+            return None
+        self._finish_recv(msg)
+        return msg
+
+    def probe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True when a matching message is queued (regardless of arrival)."""
+        return self._mailboxes[self.rank].probe(src, tag)
+
+    def recv_sorted(self, counts: dict[int, int], tag: int):
+        """Receive an exact multiset of messages in virtual-arrival order.
+
+        ``counts`` maps source rank -> number of messages to receive with
+        ``tag``.  The messages are first collected (blocking in real time
+        only — senders have already fired them, so this cannot deadlock),
+        sorted by virtual arrival, and then *yielded* one at a time with
+        the clock charged per message — modelling a processor that polls
+        its queue and handles work FIFO by arrival.  Work the caller does
+        between yields lands between the arrival waits, exactly like
+        service time would on the real machine.
+        """
+        raw: list[Message] = []
+        box = self._mailboxes[self.rank]
+        for src in sorted(counts):
+            for _ in range(counts[src]):
+                raw.append(box.get(src, tag, timeout=self._recv_timeout))
+        raw.sort()
+        for msg in raw:
+            self._finish_recv(msg)
+            yield msg
+
+    def collect_raw(self, src: int, tag: int, stop) -> list[Message]:
+        """Collect messages from ``src`` without charging the clock,
+        until ``stop(payload)`` is true (the stop message is included).
+
+        Real-time blocking only; the caller is responsible for charging
+        the clock later via :meth:`charge_recv`, typically after sorting
+        a whole batch by virtual arrival.  Safe only for fire-and-forget
+        streams whose completion does not depend on this rank acting.
+        """
+        box = self._mailboxes[self.rank]
+        out: list[Message] = []
+        while True:
+            msg = box.get(src, tag, timeout=self._recv_timeout)
+            out.append(msg)
+            if stop(msg.payload):
+                return out
+
+    def charge_recv(self, msg: Message) -> None:
+        """Charge the clock and counters for a message obtained through
+        :meth:`collect_raw` (wait until arrival + copy-out)."""
+        self._finish_recv(msg)
+
+    def _finish_recv(self, msg: Message) -> None:
+        self.clock.wait_until(msg.arrival)
+        if msg.src != self.rank:
+            self.clock.advance(msg.nbytes * self.cost.profile.t_w)
+        self.stats.record_recv(msg.nbytes)
+
+    # ------------------------------------------------------- collectives
+    def barrier(self) -> None:
+        _coll.barrier(self)
+
+    def bcast(self, payload: Any, root: int = 0, nbytes: int | None = None) -> Any:
+        return _coll.bcast(self, payload, root=root, nbytes=nbytes)
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+        return _coll.reduce(self, value, op, root=root)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        return _coll.allreduce(self, value, op)
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        return _coll.gather(self, value, root=root)
+
+    def allgather(self, value: Any) -> list[Any]:
+        return _coll.allgather(self, value)
+
+    def alltoall(self, values: list[Any]) -> list[Any]:
+        return _coll.alltoall(self, values)
+
+    def scan(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        return _coll.scan(self, value, op)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Comm(rank={self.rank}, size={self.size})"

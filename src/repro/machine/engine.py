@@ -1,0 +1,168 @@
+"""Thread-per-rank SPMD runner.
+
+``Engine(p, profile).run(main, args...)`` spawns ``p`` threads, each
+executing ``main(comm, *args)`` against its own :class:`Comm`, and returns
+a :class:`RunReport` with every rank's return value, virtual clock and
+communication counters.  Real wall-clock time is irrelevant to the report;
+all timings are virtual and deterministic (see :mod:`repro.machine.comm`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.machine.clock import PhaseTimings
+from repro.machine.comm import Comm, CommStats
+from repro.machine.costmodel import CostModel, MachineProfile
+from repro.machine.mailbox import Mailbox
+from repro.machine.profiles import ZERO_COST
+
+
+@dataclass
+class RankResult:
+    """What one rank produced: return value, clock, comm counters."""
+
+    rank: int
+    value: Any
+    time: float
+    timings: PhaseTimings
+    stats: CommStats
+
+
+@dataclass
+class RunReport:
+    """Aggregate of one SPMD run."""
+
+    ranks: list[RankResult]
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def values(self) -> list[Any]:
+        return [r.value for r in self.ranks]
+
+    @property
+    def parallel_time(self) -> float:
+        """Virtual makespan: the last rank to finish defines it."""
+        return max(r.time for r in self.ranks)
+
+    def phase_max(self) -> dict[str, float]:
+        """Per-phase time as the paper reports it: max over ranks."""
+        out: dict[str, float] = {}
+        for r in self.ranks:
+            for phase, dt in r.timings.seconds.items():
+                out[phase] = max(out.get(phase, 0.0), dt)
+        return out
+
+    def phase_mean(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.ranks:
+            for phase, dt in r.timings.seconds.items():
+                out[phase] = out.get(phase, 0.0) + dt
+        return {k: v / self.size for k, v in out.items()}
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.stats.messages_sent for r in self.ranks)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.stats.bytes_sent for r in self.ranks)
+
+    def load_imbalance(self, phase: str | None = None) -> float:
+        """max/mean virtual time ratio (1.0 = perfectly balanced)."""
+        if phase is None:
+            times = [r.time for r in self.ranks]
+        else:
+            times = [r.timings.get(phase) for r in self.ranks]
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean > 0 else 1.0
+
+
+@dataclass
+class _RankState:
+    value: Any = None
+    error: BaseException | None = None
+
+
+class Engine:
+    """Runs SPMD programs on the virtual machine.
+
+    Parameters
+    ----------
+    size:
+        Number of virtual processors.
+    profile:
+        Machine profile; defaults to the free :data:`ZERO_COST` machine.
+    recv_timeout:
+        Real-seconds watchdog for blocking receives; a deadlocked program
+        raises ``TimeoutError`` instead of hanging the test suite.
+    """
+
+    def __init__(self, size: int, profile: MachineProfile = ZERO_COST,
+                 recv_timeout: float | None = 120.0):
+        if size <= 0:
+            raise ValueError(f"engine size must be positive, got {size}")
+        self.size = size
+        self.profile = profile
+        self.cost = CostModel(profile, size)
+        self.recv_timeout = recv_timeout
+
+    def run(self, main: Callable[..., Any], *args: Any,
+            rank_args: Sequence[Sequence[Any]] | None = None) -> RunReport:
+        """Execute ``main(comm, *args)`` on every rank.
+
+        ``rank_args`` optionally provides per-rank extra positional
+        arguments appended after the shared ``args``.
+        """
+        if rank_args is not None and len(rank_args) != self.size:
+            raise ValueError(
+                f"rank_args must have {self.size} entries, got {len(rank_args)}"
+            )
+        mailboxes = [Mailbox(r) for r in range(self.size)]
+        comms = [Comm(r, self.size, self.cost, mailboxes,
+                      recv_timeout=self.recv_timeout)
+                 for r in range(self.size)]
+        states = [_RankState() for _ in range(self.size)]
+
+        def runner(rank: int) -> None:
+            extra = tuple(rank_args[rank]) if rank_args is not None else ()
+            try:
+                states[rank].value = main(comms[rank], *args, *extra)
+            except BaseException as exc:  # propagate to the caller
+                states[rank].error = exc
+                for box in mailboxes:
+                    box.close()
+
+        threads = [
+            threading.Thread(target=runner, args=(r,),
+                             name=f"vrank-{r}", daemon=True)
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        errors = [(r, s.error) for r, s in enumerate(states) if s.error]
+        if errors:
+            # Prefer the root cause: secondary "closed mailbox" failures are
+            # just other ranks being released after the first rank died.
+            primary = [e for e in errors
+                       if "mailbox" not in str(e[1])]
+            rank, err = (primary or errors)[0]
+            raise RuntimeError(
+                f"virtual rank {rank} failed: {type(err).__name__}: {err}"
+            ) from err
+
+        return RunReport(ranks=[
+            RankResult(rank=r, value=states[r].value,
+                       time=comms[r].clock.now,
+                       timings=comms[r].clock.timings,
+                       stats=comms[r].stats)
+            for r in range(self.size)
+        ])

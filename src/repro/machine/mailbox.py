@@ -1,0 +1,115 @@
+"""Thread-safe, tag-matched message queues for the virtual machine.
+
+One :class:`Mailbox` per rank.  A message carries its payload, its wire
+size in bytes and its *virtual arrival time* (computed by the sender from
+its own clock and the cost model), so receivers can charge their clocks
+deterministically regardless of real thread scheduling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Wildcard source / tag, mirroring ``MPI.ANY_SOURCE`` / ``MPI.ANY_TAG``.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_seq_counter = itertools.count()
+
+
+@dataclass(order=True)
+class Message:
+    """One in-flight message.
+
+    Ordered by ``(arrival, src, seq)`` so that wildcard receives pick the
+    earliest *virtual* arrival among the matching messages present, which
+    keeps virtual timing independent of thread interleaving in the common
+    consume-everything patterns.
+    """
+
+    arrival: float
+    src: int
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+    tag: int = field(compare=False, default=0)
+    payload: Any = field(compare=False, default=None)
+    nbytes: int = field(compare=False, default=0)
+
+
+class Mailbox:
+    """Blocking, (src, tag)-matched FIFO message store for one rank."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._messages: list[Message] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def put(self, msg: Message) -> None:
+        """Deposit a message (called from the sender's thread)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError(
+                    f"mailbox of rank {self.rank} is closed (engine shut down)"
+                )
+            self._messages.append(msg)
+            self._cond.notify_all()
+
+    def _match_index(self, src: int, tag: int) -> int | None:
+        best: int | None = None
+        for i, m in enumerate(self._messages):
+            if src != ANY_SOURCE and m.src != src:
+                continue
+            if tag != ANY_TAG and m.tag != tag:
+                continue
+            if best is None or m < self._messages[best]:
+                best = i
+        return best
+
+    def get(self, src: int = ANY_SOURCE, tag: int = ANY_TAG,
+            timeout: float | None = None) -> Message:
+        """Block until a matching message is available and remove it.
+
+        Raises
+        ------
+        TimeoutError
+            When ``timeout`` (real seconds) elapses first — the engine uses
+            this as a deadlock watchdog.
+        """
+        with self._cond:
+            while True:
+                i = self._match_index(src, tag)
+                if i is not None:
+                    return self._messages.pop(i)
+                if self._closed:
+                    raise RuntimeError(
+                        f"rank {self.rank}: receive on closed mailbox"
+                    )
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"rank {self.rank}: recv(src={src}, tag={tag}) "
+                        f"timed out after {timeout}s — likely deadlock"
+                    )
+
+    def poll(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message | None:
+        """Non-blocking matched receive; ``None`` when nothing matches."""
+        with self._cond:
+            i = self._match_index(src, tag)
+            return self._messages.pop(i) if i is not None else None
+
+    def probe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True when a matching message is queued (does not remove it)."""
+        with self._cond:
+            return self._match_index(src, tag) is not None
+
+    def pending_count(self) -> int:
+        with self._cond:
+            return len(self._messages)
+
+    def close(self) -> None:
+        """Wake all blocked receivers with an error (engine teardown)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

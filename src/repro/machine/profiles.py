@@ -1,0 +1,80 @@
+"""Calibrated machine profiles.
+
+The nCUBE2 and CM5 numbers follow the widely published figures (also used
+in Kumar et al., *Introduction to Parallel Computing*): the nCUBE2 had a
+start-up latency of roughly 150 us and per-byte time around 0.6 us on its
+hypercube network; the CM5's data network start-up was near 85 us with a
+higher point-to-point bandwidth on a 4-ary fat tree.  Sustained scalar
+flop rates are calibrated against the paper's own reported force-evaluation
+rates (see EXPERIMENTS.md, "Calibration").
+"""
+
+from __future__ import annotations
+
+from repro.machine.costmodel import MachineProfile
+
+#: nCUBE2: d-dimensional hypercube, 4 MB per node.
+NCUBE2 = MachineProfile(
+    name="nCUBE2",
+    topology_kind="hypercube",
+    t_s=154e-6,
+    t_h=7e-6,
+    t_w=0.6e-6,
+    flops_per_second=0.55e6,
+    memory_bytes=4 * 1024 * 1024,
+)
+
+#: CM5: 4-ary fat tree, 32 MB per node, faster SPARC scalar units.
+CM5 = MachineProfile(
+    name="CM5",
+    topology_kind="fattree",
+    t_s=86e-6,
+    t_h=3e-6,
+    t_w=0.12e-6,
+    flops_per_second=1.6e6,
+    memory_bytes=32 * 1024 * 1024,
+    topology_kwargs={"arity": 4},
+)
+
+#: Cray T3E (the "current machine" of the paper's conclusion): much higher
+#: compute-to-communication ratio.
+T3E = MachineProfile(
+    name="T3E",
+    topology_kind="mesh",
+    t_s=8e-6,
+    t_h=0.3e-6,
+    t_w=0.003e-6,
+    flops_per_second=120e6,
+    memory_bytes=256 * 1024 * 1024,
+)
+
+#: A free machine: zero communication cost and unit flop time.  Useful in
+#: tests that check message *content* and virtual-time *attribution*
+#: separately.
+ZERO_COST = MachineProfile(
+    name="zero-cost",
+    topology_kind="complete",
+    t_s=0.0,
+    t_h=0.0,
+    t_w=0.0,
+    flops_per_second=1.0,
+)
+
+_PROFILES = {
+    "ncube2": NCUBE2,
+    "cm5": CM5,
+    "t3e": T3E,
+    "zero": ZERO_COST,
+    "zero-cost": ZERO_COST,
+}
+
+
+def get_profile(name: str) -> MachineProfile:
+    """Look up a machine profile by case-insensitive name."""
+    try:
+        return _PROFILES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine profile {name!r}; "
+            f"available: {sorted(set(_PROFILES))}"
+        ) from None

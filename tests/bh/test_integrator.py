@@ -1,0 +1,102 @@
+"""Tests for the leapfrog integrator and energy diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.bh.integrator import (
+    direct_accelerations,
+    kinetic_energy,
+    leapfrog_step,
+    potential_energy,
+    total_energy,
+)
+from repro.bh.particles import ParticleSet
+
+
+def circular_binary():
+    """Two equal masses on a circular orbit about their barycenter.
+
+    Separation 2, masses 1 each: orbital speed of each body is
+    v = sqrt(G m_other * r_body / sep^2) = sqrt(1 * 1 / 4) = 0.5.
+    """
+    ps = ParticleSet(
+        positions=np.array([[-1.0, 0.0, 0.0], [1.0, 0.0, 0.0]]),
+        masses=np.array([1.0, 1.0]),
+        velocities=np.array([[0.0, -0.5, 0.0], [0.0, 0.5, 0.0]]),
+    )
+    return ps
+
+
+class TestEnergies:
+    def test_kinetic(self):
+        ps = circular_binary()
+        assert kinetic_energy(ps) == pytest.approx(0.5 * (0.25 + 0.25))
+
+    def test_potential(self):
+        ps = circular_binary()
+        assert potential_energy(ps) == pytest.approx(-0.5)
+
+    def test_total(self):
+        ps = circular_binary()
+        assert total_energy(ps) == pytest.approx(0.25 - 0.5)
+
+
+class TestLeapfrog:
+    def test_energy_conservation_binary(self):
+        ps = circular_binary()
+        e0 = total_energy(ps)
+        accel = direct_accelerations()
+        a = None
+        for _ in range(200):
+            a = leapfrog_step(ps, accel, dt=0.01, accel_now=a)
+        assert total_energy(ps) == pytest.approx(e0, abs=1e-5)
+
+    def test_circular_orbit_radius_stable(self):
+        ps = circular_binary()
+        accel = direct_accelerations()
+        a = None
+        for _ in range(500):
+            a = leapfrog_step(ps, accel, dt=0.01, accel_now=a)
+        sep = np.linalg.norm(ps.positions[1] - ps.positions[0])
+        assert sep == pytest.approx(2.0, rel=1e-3)
+
+    def test_momentum_conserved(self):
+        rng = np.random.default_rng(0)
+        ps = ParticleSet(positions=rng.normal(0, 1, (20, 3)),
+                         masses=rng.uniform(0.5, 1.5, 20),
+                         velocities=rng.normal(0, 0.1, (20, 3)))
+        p0 = (ps.masses[:, None] * ps.velocities).sum(axis=0)
+        accel = direct_accelerations(softening=0.05)
+        a = None
+        for _ in range(20):
+            a = leapfrog_step(ps, accel, dt=0.01, accel_now=a)
+        p1 = (ps.masses[:, None] * ps.velocities).sum(axis=0)
+        np.testing.assert_allclose(p1, p0, atol=1e-10)
+
+    def test_time_reversibility(self):
+        """Leapfrog is symmetric: integrating forward then backward with
+        negated velocities returns to the start."""
+        ps = circular_binary()
+        accel = direct_accelerations()
+        x0 = ps.positions.copy()
+        for _ in range(50):
+            leapfrog_step(ps, accel, dt=0.02)
+        ps.velocities *= -1.0
+        for _ in range(50):
+            leapfrog_step(ps, accel, dt=0.02)
+        np.testing.assert_allclose(ps.positions, x0, atol=1e-9)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            leapfrog_step(circular_binary(), direct_accelerations(), dt=0.0)
+
+    def test_accel_shape_checked(self):
+        ps = circular_binary()
+        with pytest.raises(ValueError):
+            leapfrog_step(ps, lambda p: np.zeros((1, 3)), dt=0.1)
+
+    def test_returns_new_accelerations(self):
+        ps = circular_binary()
+        accel = direct_accelerations()
+        a1 = leapfrog_step(ps, accel, dt=0.01)
+        np.testing.assert_allclose(a1, accel(ps))

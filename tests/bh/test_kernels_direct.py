@@ -1,0 +1,131 @@
+"""Tests for interaction kernels and the direct-summation reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bh import kernels
+from repro.bh.direct import (
+    direct_forces,
+    direct_potentials,
+    sample_direct_potentials,
+)
+from repro.bh.particles import ParticleSet
+
+
+def two_body():
+    return ParticleSet(
+        positions=np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]]),
+        masses=np.array([1.0, 3.0]),
+    )
+
+
+class TestKernels:
+    def test_pair_potential_value(self):
+        phi = kernels.pair_potential(
+            np.array([[0.0, 0.0, 0.0]]),
+            np.array([[3.0, 4.0, 0.0]]), np.array([2.0])
+        )
+        assert phi[0] == pytest.approx(-2.0 / 5.0)
+
+    def test_pair_force_newtons_law(self):
+        t = np.array([[0.0, 0.0, 0.0]])
+        s = np.array([[2.0, 0.0, 0.0]])
+        f = kernels.pair_force(t, s, np.array([4.0]))
+        # attraction toward +x with magnitude Gm/r^2 = 4/4 = 1
+        np.testing.assert_allclose(f[0], [1.0, 0.0, 0.0])
+
+    def test_self_pair_contributes_zero(self):
+        p = np.array([[1.0, 2.0, 3.0]])
+        assert kernels.pair_potential(p, p, np.ones(1))[0] == 0.0
+        np.testing.assert_array_equal(kernels.pair_force(p, p, np.ones(1)),
+                                      np.zeros((1, 3)))
+
+    def test_softening_caps_close_interactions(self):
+        t = np.zeros((1, 3))
+        s = np.array([[1e-9, 0.0, 0.0]])
+        f_soft = kernels.pair_force(t, s, np.ones(1), softening=0.1)
+        assert np.linalg.norm(f_soft) < 1.0 / 0.1 ** 2 + 1e-9
+
+    def test_point_mass_matches_pair(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(0, 1, (5, 3))
+        c = np.array([3.0, 3.0, 3.0])
+        np.testing.assert_allclose(
+            kernels.point_mass_potential(t, c, 2.5),
+            kernels.pair_potential(t, c[None], np.array([2.5])),
+        )
+        np.testing.assert_allclose(
+            kernels.point_mass_force(t, c, 2.5),
+            kernels.pair_force(t, c[None], np.array([2.5])),
+        )
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 10**6))
+    def test_force_is_gradient_of_potential(self, seed):
+        """Numerical gradient check ties force and potential kernels."""
+        rng = np.random.default_rng(seed)
+        src = rng.uniform(-1, 1, (4, 3))
+        q = rng.uniform(0.5, 2.0, 4)
+        t = rng.uniform(2.0, 3.0, (1, 3))
+        f = kernels.pair_force(t, src, q)[0]
+        h = 1e-6
+        for axis in range(3):
+            tp = t.copy(); tp[0, axis] += h
+            tm = t.copy(); tm[0, axis] -= h
+            dphi = (kernels.pair_potential(tp, src, q)[0]
+                    - kernels.pair_potential(tm, src, q)[0]) / (2 * h)
+            assert f[axis] == pytest.approx(-dphi, rel=1e-4, abs=1e-8)
+
+
+class TestDirect:
+    def test_two_body_potentials(self):
+        ps = two_body()
+        phi = direct_potentials(ps)
+        np.testing.assert_allclose(phi, [-1.5, -0.5])
+
+    def test_two_body_forces_opposite(self):
+        ps = two_body()
+        f = direct_forces(ps)
+        # momentum conservation: m1 a1 + m2 a2 = 0
+        np.testing.assert_allclose(ps.masses[0] * f[0] + ps.masses[1] * f[1],
+                                   np.zeros(3), atol=1e-12)
+
+    def test_chunking_invariance(self):
+        rng = np.random.default_rng(1)
+        ps = ParticleSet(positions=rng.uniform(0, 1, (37, 3)),
+                         masses=rng.uniform(0.5, 1.5, 37))
+        np.testing.assert_allclose(direct_potentials(ps, chunk=5),
+                                   direct_potentials(ps, chunk=1000))
+        np.testing.assert_allclose(direct_forces(ps, chunk=7),
+                                   direct_forces(ps, chunk=64))
+
+    def test_explicit_targets(self):
+        ps = two_body()
+        t = np.array([[1.0, 0.0, 0.0]])
+        phi = direct_potentials(ps, t)
+        assert phi[0] == pytest.approx(-1.0 - 3.0)
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            direct_potentials(two_body(), chunk=0)
+        with pytest.raises(ValueError):
+            direct_forces(two_body(), chunk=-1)
+
+    def test_sampled_reference_agrees(self):
+        rng = np.random.default_rng(2)
+        ps = ParticleSet(positions=rng.uniform(0, 1, (100, 3)),
+                         masses=np.ones(100) / 100)
+        idx, phi = sample_direct_potentials(ps, 20, seed=3)
+        full = direct_potentials(ps)
+        np.testing.assert_allclose(phi, full[idx])
+        assert len(set(idx.tolist())) == 20
+
+    def test_sample_count_capped(self):
+        ps = two_body()
+        idx, phi = sample_direct_potentials(ps, 50)
+        assert idx.size == 2
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            sample_direct_potentials(two_body(), 0)

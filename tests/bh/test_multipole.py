@@ -1,0 +1,279 @@
+"""Tests for multipole expansions: P2M, M2M, M2P, tree expansions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bh.distributions import plummer
+from repro.bh.multipole import (
+    MonopoleExpansion,
+    MultipoleExpansion2D,
+    MultipoleExpansion3D,
+    TreeMultipoles,
+    irregular_terms,
+    n_terms,
+    regular_terms,
+    spherical_coords,
+    spherical_harmonics,
+    term_index,
+)
+from repro.bh.particles import ParticleSet
+from repro.bh.tree import build_tree
+
+
+def cloud(n=40, seed=0, radius=0.5):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(-radius, radius, (n, 3))
+    q = rng.uniform(0.1, 1.0, n)
+    return pos, q
+
+
+def far_targets(m=15, seed=1, dist=5.0):
+    rng = np.random.default_rng(seed)
+    t = rng.normal(0, 1, (m, 3))
+    return t / np.linalg.norm(t, axis=1, keepdims=True) * dist
+
+
+def direct_sum(targets, src, q):
+    return np.array([np.sum(q / np.linalg.norm(t - src, axis=1))
+                     for t in targets])
+
+
+class TestIndexing:
+    def test_term_index_layout(self):
+        assert term_index(0, 0) == 0
+        assert term_index(1, -1) == 1
+        assert term_index(1, 0) == 2
+        assert term_index(1, 1) == 3
+        assert term_index(2, -2) == 4
+
+    def test_term_index_bounds(self):
+        with pytest.raises(ValueError):
+            term_index(1, 2)
+
+    def test_n_terms(self):
+        assert n_terms(0) == 1
+        assert n_terms(4) == 25
+        with pytest.raises(ValueError):
+            n_terms(-1)
+
+
+class TestSphericalCoords:
+    def test_poles_and_axes(self):
+        r, ct, phi = spherical_coords(np.array([[0.0, 0.0, 2.0]]))
+        assert r[0] == 2.0 and ct[0] == 1.0
+        r, ct, phi = spherical_coords(np.array([[1.0, 0.0, 0.0]]))
+        assert ct[0] == pytest.approx(0.0)
+        assert phi[0] == pytest.approx(0.0)
+
+    def test_origin_is_safe(self):
+        r, ct, phi = spherical_coords(np.zeros((1, 3)))
+        assert r[0] == 0.0 and ct[0] == 1.0
+
+
+class TestSphericalHarmonics:
+    def test_addition_theorem(self):
+        """sum_m Y_l^{-m}(a) Y_l^m(b) = P_l(cos gamma) — the identity the
+        whole expansion rests on."""
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 3)
+        b = rng.normal(0, 1, 3)
+        ra, cta, pa = spherical_coords(a[None])
+        rb, ctb, pb = spherical_coords(b[None])
+        Ya = spherical_harmonics(cta, pa, 6)[0]
+        Yb = spherical_harmonics(ctb, pb, 6)[0]
+        cos_gamma = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        for l in range(7):
+            total = sum(
+                Ya[term_index(l, -m)] * Yb[term_index(l, m)]
+                for m in range(-l, l + 1)
+            )
+            legendre = np.polynomial.legendre.Legendre.basis(l)(cos_gamma)
+            assert total.real == pytest.approx(legendre, abs=1e-12)
+            assert abs(total.imag) < 1e-12
+
+    def test_y00_is_one(self):
+        Y = spherical_harmonics(np.array([0.3]), np.array([1.2]), 2)
+        assert Y[0, term_index(0, 0)] == pytest.approx(1.0)
+
+    def test_conjugate_symmetry(self):
+        Y = spherical_harmonics(np.array([0.4]), np.array([0.7]), 5)
+        for l in range(6):
+            for m in range(1, l + 1):
+                assert Y[0, term_index(l, -m)] == pytest.approx(
+                    np.conj(Y[0, term_index(l, m)])
+                )
+
+
+class TestExpansion3D:
+    def test_p2m_m2p_converges_with_degree(self):
+        src, q = cloud()
+        targets = far_targets()
+        direct = direct_sum(targets, src, q)
+        prev_err = np.inf
+        for k in (1, 3, 5, 8):
+            exp = MultipoleExpansion3D(k)
+            approx = exp.evaluate(exp.p2m(src, q), targets)
+            err = np.abs(approx - direct).max()
+            assert err < prev_err
+            prev_err = err
+        assert prev_err < 1e-6
+
+    def test_degree_zero_is_total_charge_over_r(self):
+        src, q = cloud()
+        exp = MultipoleExpansion3D(0)
+        M = exp.p2m(src, q)
+        t = np.array([[0.0, 0.0, 4.0]])
+        assert exp.evaluate(M, t)[0] == pytest.approx(q.sum() / 4.0, rel=0.05)
+
+    def test_error_scales_like_ratio_power(self):
+        """Truncation error ~ (a/r)^{k+1}: doubling the distance cuts the
+        degree-3 error by about 2^4."""
+        src, q = cloud(radius=0.5)
+        exp = MultipoleExpansion3D(3)
+        M = exp.p2m(src, q)
+        errs = []
+        for dist in (3.0, 6.0):
+            t = far_targets(30, seed=4, dist=dist)
+            err = np.abs(exp.evaluate(M, t) - direct_sum(t, src, q)).max()
+            errs.append(err)
+        ratio = errs[0] / errs[1]
+        assert 6.0 < ratio < 50.0
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 10**6))
+    def test_m2m_exact(self, seed):
+        """Shifting moments must equal recomputing them about the new
+        center, for any geometry."""
+        rng = np.random.default_rng(seed)
+        src = rng.uniform(-1, 1, (12, 3))
+        q = rng.uniform(0.1, 1.0, 12)
+        shift_target = rng.uniform(-1, 1, 3)
+        exp = MultipoleExpansion3D(5)
+        child = exp.p2m(src, q)
+        moved = exp.m2m(child, -shift_target)
+        direct = exp.p2m(src - shift_target, q)
+        np.testing.assert_allclose(moved, direct, atol=1e-10)
+
+    def test_m2m_chain_composes(self):
+        src, q = cloud(20, seed=5)
+        exp = MultipoleExpansion3D(4)
+        M0 = exp.p2m(src, q)
+        step = np.array([0.2, -0.1, 0.3])
+        # two shifts of `step` = one shift of `2*step` (shift argument is
+        # old center relative to new center)
+        two_steps = exp.m2m(exp.m2m(M0, step), step)
+        one_jump = exp.m2m(M0, 2 * step)
+        np.testing.assert_allclose(two_steps, one_jump, atol=1e-10)
+
+    def test_evaluate_at_center_rejected(self):
+        exp = MultipoleExpansion3D(2)
+        M = exp.p2m(*cloud(5))
+        with pytest.raises(ValueError):
+            exp.evaluate(M, np.zeros((1, 3)))
+
+    def test_wire_floats(self):
+        assert MultipoleExpansion3D(6).wire_floats == 2 * 49
+
+    def test_negative_degree(self):
+        with pytest.raises(ValueError):
+            MultipoleExpansion3D(-1)
+
+    def test_regular_terms_at_origin(self):
+        R = regular_terms(np.zeros((1, 3)), 3)
+        assert R[0, 0] == pytest.approx(1.0)
+        assert np.abs(R[0, 1:]).max() == 0.0
+
+    def test_irregular_rejects_origin(self):
+        with pytest.raises(ValueError):
+            irregular_terms(np.zeros((1, 3)), 2)
+
+
+class TestExpansion2D:
+    def test_p2m_m2p(self):
+        rng = np.random.default_rng(7)
+        src = rng.uniform(-0.5, 0.5, (30, 2))
+        q = rng.uniform(0.1, 1.0, 30)
+        t = rng.normal(0, 1, (10, 2))
+        t = t / np.linalg.norm(t, axis=1, keepdims=True) * 4.0
+        direct = np.array([
+            np.sum(q * np.log(np.linalg.norm(p - src, axis=1))) for p in t
+        ])
+        exp = MultipoleExpansion2D(10)
+        approx = exp.evaluate(exp.p2m(src, q), t)
+        np.testing.assert_allclose(approx, direct, atol=1e-7)
+
+    def test_m2m_exact(self):
+        rng = np.random.default_rng(8)
+        src = rng.uniform(-0.5, 0.5, (20, 2))
+        q = rng.uniform(0.1, 1.0, 20)
+        nc = np.array([0.3, -0.2])
+        exp = MultipoleExpansion2D(8)
+        moved = exp.m2m(exp.p2m(src, q), -nc)
+        direct = exp.p2m(src - nc, q)
+        np.testing.assert_allclose(moved, direct, atol=1e-12)
+
+    def test_total_charge_preserved_by_shift(self):
+        exp = MultipoleExpansion2D(4)
+        rng = np.random.default_rng(9)
+        M = exp.p2m(rng.uniform(-1, 1, (5, 2)), np.ones(5))
+        shifted = exp.m2m(M, np.array([3.0, 4.0]))
+        assert shifted[0] == pytest.approx(5.0)
+
+    def test_degree_validated(self):
+        with pytest.raises(ValueError):
+            MultipoleExpansion2D(0)
+
+    def test_bad_point_shape(self):
+        exp = MultipoleExpansion2D(2)
+        with pytest.raises(ValueError):
+            exp.p2m(np.zeros((3, 3)), np.ones(3))
+
+    def test_evaluate_at_center_rejected(self):
+        exp = MultipoleExpansion2D(2)
+        M = exp.p2m(np.ones((2, 2)), np.ones(2))
+        with pytest.raises(ValueError):
+            exp.evaluate(M, np.zeros((1, 2)))
+
+
+class TestTreeMultipoles:
+    def test_root_expansion_matches_direct_p2m(self):
+        """Leaf P2M + M2M up the tree must equal a single P2M of all
+        particles about the root center."""
+        ps = plummer(300, seed=11)
+        tree = build_tree(ps, leaf_capacity=8)
+        tm = TreeMultipoles(tree, ps, degree=4)
+        exp = MultipoleExpansion3D(4)
+        direct = exp.p2m(ps.positions - tree.center[0], ps.masses)
+        np.testing.assert_allclose(tm.coeffs[0], direct, atol=1e-9)
+
+    def test_node_potential_sign_and_value(self):
+        ps = plummer(100, seed=12)
+        tree = build_tree(ps, leaf_capacity=8)
+        tm = TreeMultipoles(tree, ps, degree=6)
+        far = ps.center_of_mass()[None, :] + np.array([[30.0, 0.0, 0.0]])
+        phi = tm.node_potential(0, far)[0]
+        exact = -np.sum(ps.masses / np.linalg.norm(far - ps.positions, axis=1))
+        assert phi == pytest.approx(exact, rel=1e-6)
+
+    def test_requires_3d(self):
+        rng = np.random.default_rng(13)
+        ps = ParticleSet(positions=rng.uniform(0, 1, (20, 2)),
+                         masses=np.ones(20))
+        tree = build_tree(ps)
+        with pytest.raises(ValueError):
+            TreeMultipoles(tree, ps, degree=2)
+
+    def test_monopole_evaluator_matches_kernels(self):
+        ps = plummer(50, seed=14)
+        tree = build_tree(ps, leaf_capacity=100)  # single node
+        mono = MonopoleExpansion(tree)
+        t = np.array([[20.0, 0.0, 0.0]])
+        expected = -ps.total_mass / np.linalg.norm(
+            t[0] - tree.com[0]
+        )
+        assert mono.node_potential(0, t)[0] == pytest.approx(expected)
+        f = mono.node_force(0, t)[0]
+        assert f[0] < 0  # attraction toward the cluster

@@ -1,0 +1,211 @@
+"""Tests for the function-shipping bin protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.bins import BinManager, RequestBin, ResultBin
+from repro.machine.costmodel import PARTICLE_RECORD_BYTES
+from repro.machine.engine import Engine
+from repro.machine.profiles import NCUBE2, ZERO_COST
+
+
+def records(n, key=7, start=0):
+    return (np.arange(start, start + n, dtype=np.int64),
+            np.full(n, key, dtype=np.int64),
+            np.zeros((n, 3)))
+
+
+class TestBinRecords:
+    def test_request_bin_wire_size(self):
+        s, k, c = records(10)
+        assert RequestBin(s, k, c).nbytes == 10 * PARTICLE_RECORD_BYTES
+
+    def test_result_bin_wire_size(self):
+        r_pot = ResultBin(np.arange(5), np.zeros(5))
+        r_force = ResultBin(np.arange(5), np.zeros((5, 3)))
+        assert r_pot.nbytes == 20
+        assert r_force.nbytes == 60
+
+
+def run(p, main, profile=ZERO_COST):
+    return Engine(p, profile, recv_timeout=30.0).run(main)
+
+
+class TestBinManagerProtocol:
+    def test_round_trip_two_ranks(self):
+        """Rank 0 ships requests; rank 1 serves with value = slot * 10."""
+        def main(comm):
+            got = {}
+
+            def serve(bin_):
+                return bin_.slots.astype(float) * 10.0
+
+            def accumulate(slots, vals):
+                for s, v in zip(slots, vals):
+                    got[int(s)] = float(v)
+
+            mgr = BinManager(comm, capacity=4, dims=3, serve=serve,
+                             accumulate=accumulate)
+            if comm.rank == 0:
+                s, k, c = records(10)
+                mgr.add_requests(1, s, k, c)
+            mgr.complete()
+            return got if comm.rank == 0 else mgr.records_served
+
+        rep = run(2, main)
+        assert rep.values[0] == {i: i * 10.0 for i in range(10)}
+        assert rep.values[1] == 10
+
+    def test_bins_ship_at_capacity(self):
+        def main(comm):
+            mgr = BinManager(comm, capacity=3, dims=3,
+                             serve=lambda b: np.zeros(b.n),
+                             accumulate=lambda s, v: None)
+            sent_bins = None
+            if comm.rank == 0:
+                s, k, c = records(7)
+                mgr.add_requests(1, s, k, c)
+                # 7 records, capacity 3 -> two full bins shipped, 1 pending
+                sent_bins = mgr.stats.request_bins_sent
+            mgr.complete()
+            return sent_bins, mgr.stats.request_bins_sent
+
+        rep = run(2, main)
+        assert rep.values[0] == (2, 3)
+
+    def test_flow_control_stalls_counted(self):
+        def main(comm):
+            mgr = BinManager(comm, capacity=2, dims=3,
+                             serve=lambda b: np.zeros(b.n),
+                             accumulate=lambda s, v: None)
+            if comm.rank == 0:
+                s, k, c = records(8)
+                mgr.add_requests(1, s, k, c)  # 4 bins to same dst
+            mgr.complete()
+            return mgr.stats.flow_control_stalls
+
+        rep = run(2, main)
+        assert rep.values[0] >= 3  # every bin after the first stalls
+
+    def test_mutual_exchange_no_deadlock(self):
+        """All ranks ship to all others and serve each other."""
+        def main(comm):
+            total = [0.0]
+
+            def serve(bin_):
+                return np.full(bin_.n, float(comm.rank))
+
+            def accumulate(slots, vals):
+                total[0] += vals.sum()
+
+            mgr = BinManager(comm, capacity=5, dims=3, serve=serve,
+                             accumulate=accumulate)
+            for dst in range(comm.size):
+                if dst != comm.rank:
+                    s, k, c = records(12)
+                    mgr.add_requests(dst, s, k, c)
+            mgr.complete()
+            return total[0]
+
+        rep = run(4, main)
+        for rank, v in enumerate(rep.values):
+            expected = 12.0 * sum(r for r in range(4) if r != rank)
+            assert v == pytest.approx(expected)
+
+    def test_deterministic_virtual_time(self):
+        def main(comm):
+            def serve(bin_):
+                comm.compute(float(100 * (comm.rank + 1)))
+                return np.zeros(bin_.n)
+
+            mgr = BinManager(comm, capacity=3, dims=3, serve=serve,
+                             accumulate=lambda s, v: None)
+            comm.compute(50.0 * comm.rank)
+            for dst in range(comm.size):
+                if dst != comm.rank:
+                    mgr.add_requests(dst, *records(8))
+            mgr.complete()
+            return comm.now
+
+        times = [run(8, main, profile=NCUBE2).values for _ in range(3)]
+        assert times[0] == times[1] == times[2]
+
+    def test_self_shipping_rejected(self):
+        def main(comm):
+            mgr = BinManager(comm, capacity=2, dims=3,
+                             serve=lambda b: np.zeros(b.n),
+                             accumulate=lambda s, v: None)
+            s, k, c = records(1)
+            mgr.add_requests(comm.rank, s, k, c)
+
+        with pytest.raises(RuntimeError, match="not shipped"):
+            run(1, main)
+
+    def test_mismatched_arrays_rejected(self):
+        def main(comm):
+            mgr = BinManager(comm, capacity=2, dims=3,
+                             serve=lambda b: np.zeros(b.n),
+                             accumulate=lambda s, v: None)
+            mgr.add_requests(1, np.arange(3), np.arange(2), np.zeros((3, 3)))
+
+        with pytest.raises(RuntimeError, match="disagree"):
+            run(2, main)
+
+    def test_invalid_capacity(self):
+        def main(comm):
+            BinManager(comm, capacity=0, dims=3,
+                       serve=lambda b: np.zeros(b.n),
+                       accumulate=lambda s, v: None)
+
+        with pytest.raises(RuntimeError, match="capacity"):
+            run(1, main)
+
+    def test_empty_add_is_noop(self):
+        def main(comm):
+            mgr = BinManager(comm, capacity=2, dims=3,
+                             serve=lambda b: np.zeros(b.n),
+                             accumulate=lambda s, v: None)
+            mgr.add_requests(1, np.zeros(0, dtype=np.int64),
+                             np.zeros(0, dtype=np.int64), np.zeros((0, 3)))
+            mgr.complete()
+            return mgr.records_sent
+
+        assert run(2, main).values == [0, 0]
+
+    def test_mixed_keys_in_one_bin_preserved(self):
+        """Records for different branch keys share a bin; duplicate slots
+        must both round-trip (the np.add.at regression case)."""
+        def main(comm):
+            seen = {}
+
+            def serve(bin_):
+                return bin_.keys.astype(float)
+
+            def accumulate(slots, vals):
+                for s, v in zip(slots, vals):
+                    seen.setdefault(int(s), []).append(float(v))
+
+            mgr = BinManager(comm, capacity=100, dims=3, serve=serve,
+                             accumulate=accumulate)
+            if comm.rank == 0:
+                mgr.add_requests(1, *records(3, key=11, start=0))
+                mgr.add_requests(1, *records(3, key=22, start=0))
+            mgr.complete()
+            return seen if comm.rank == 0 else None
+
+        rep = run(2, main)
+        assert rep.values[0] == {0: [11.0, 22.0], 1: [11.0, 22.0],
+                                 2: [11.0, 22.0]}
+
+    def test_request_bytes_follow_record_size(self):
+        def main(comm):
+            mgr = BinManager(comm, capacity=10, dims=3,
+                             serve=lambda b: np.zeros(b.n),
+                             accumulate=lambda s, v: None)
+            if comm.rank == 0:
+                mgr.add_requests(1, *records(25))
+            mgr.complete()
+            return mgr.stats.request_bytes_sent
+
+        rep = run(2, main)
+        assert rep.values[0] == 25 * PARTICLE_RECORD_BYTES

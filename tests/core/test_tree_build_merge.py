@@ -1,0 +1,248 @@
+"""Tests for distributed tree construction and the top-tree merge."""
+
+import numpy as np
+import pytest
+
+from repro.bh.distributions import plummer, uniform_cube
+from repro.bh.multipole import MultipoleExpansion3D
+from repro.bh.particles import Box, ParticleSet
+from repro.core.branch_nodes import branch_key
+from repro.core.config import SchemeConfig
+from repro.core.partition import Cell
+from repro.core.tree_build import (
+    assign_to_cells,
+    build_local_trees,
+    local_branch_infos,
+)
+from repro.core.tree_merge import build_top_tree, merge_broadcast, \
+    merge_nonreplicated
+from repro.machine.engine import Engine
+from repro.machine.profiles import ZERO_COST
+
+ROOT = Box(np.array([0.5, 0.5, 0.5]), 0.5)
+BITS = 8
+
+
+def level1_cells():
+    return [Cell(1, k) for k in range(8)]
+
+
+class TestAssignToCells:
+    def test_level1_octants(self):
+        pos = np.array([[0.1, 0.1, 0.1], [0.9, 0.1, 0.1], [0.9, 0.9, 0.9]])
+        slots = assign_to_cells(pos, level1_cells(), ROOT, BITS)
+        assert slots.tolist() == [0, 1, 7]
+
+    def test_outside_any_cell(self):
+        pos = np.array([[0.6, 0.6, 0.6]])
+        slots = assign_to_cells(pos, [Cell(1, 0)], ROOT, BITS)
+        assert slots.tolist() == [-1]
+
+    def test_no_cells(self):
+        assert assign_to_cells(np.zeros((3, 3)) + 0.1, [], ROOT,
+                               BITS).tolist() == [-1, -1, -1]
+
+    def test_overlapping_cells_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            assign_to_cells(np.zeros((1, 3)) + 0.1,
+                            [Cell(0, 0), Cell(1, 3)], ROOT, BITS)
+
+    def test_mixed_depth_cells(self):
+        cells = [Cell(1, 0), Cell(2, 8)]  # octant 0 and a sub-cell of oct 1
+        pos = np.array([[0.2, 0.2, 0.2], [0.6, 0.1, 0.1]])
+        slots = assign_to_cells(pos, cells, ROOT, BITS)
+        assert slots[0] == 0
+        assert slots[1] in (1, -1)
+
+
+class TestBuildLocalTrees:
+    def test_partition_of_particles(self):
+        ps = uniform_cube(300, seed=0)
+        cfg = SchemeConfig()
+        subs = build_local_trees(ps, level1_cells(), ROOT, cfg, BITS)
+        assert sum(st.count for st in subs) == 300
+        ids = np.concatenate([st.particles.ids for st in subs])
+        assert sorted(ids.tolist()) == list(range(300))
+
+    def test_empty_cells_skipped(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0.0, 0.49, (50, 3))  # all in octant 0
+        ps = ParticleSet(positions=pos, masses=np.ones(50))
+        subs = build_local_trees(ps, level1_cells(), ROOT, SchemeConfig(),
+                                 BITS)
+        assert len(subs) == 1
+        assert subs[0].cell == Cell(1, 0)
+
+    def test_small_cell_still_gets_tree(self):
+        """A cell with fewer than s particles still produces a branch node
+        at the cell's own level (the paper's 'tree adjustment')."""
+        pos = np.array([[0.1, 0.1, 0.1]])
+        ps = ParticleSet(positions=pos, masses=np.ones(1))
+        subs = build_local_trees(ps, level1_cells(), ROOT,
+                                 SchemeConfig(leaf_capacity=8), BITS)
+        assert len(subs) == 1
+        st = subs[0]
+        assert st.tree.nnodes >= 1
+        assert st.key == branch_key(Cell(1, 0), 3)
+
+    def test_unowned_particle_rejected(self):
+        ps = uniform_cube(10, seed=2)
+        with pytest.raises(ValueError, match="outside all owned"):
+            build_local_trees(ps, [Cell(1, 0)], ROOT, SchemeConfig(), BITS)
+
+    def test_multipoles_built_when_degree_positive(self):
+        ps = uniform_cube(100, seed=3)
+        cfg = SchemeConfig(mode="potential", degree=3)
+        subs = build_local_trees(ps, level1_cells(), ROOT, cfg, BITS)
+        assert all(st.multipoles is not None for st in subs)
+
+    def test_local_idx_maps_back(self):
+        ps = uniform_cube(100, seed=4)
+        subs = build_local_trees(ps, level1_cells(), ROOT, SchemeConfig(),
+                                 BITS)
+        for st in subs:
+            np.testing.assert_array_equal(ps.ids[st.local_idx],
+                                          st.particles.ids)
+
+
+class TestBranchInfos:
+    def test_monopole_summary(self):
+        ps = uniform_cube(200, seed=5)
+        subs = build_local_trees(ps, level1_cells(), ROOT, SchemeConfig(),
+                                 BITS)
+        infos = local_branch_infos(subs, rank=3, root=ROOT, degree=0)
+        assert all(b.owner == 3 for b in infos)
+        assert sum(b.count for b in infos) == 200
+        assert sum(b.mass for b in infos) == pytest.approx(ps.total_mass)
+
+    def test_multipole_shifted_to_cell_center(self):
+        """The published expansion must be about the *cell* center even
+        when chain collapsing moved the subtree root deeper."""
+        rng = np.random.default_rng(6)
+        pos = rng.uniform(0.01, 0.05, (40, 3))  # tight corner cluster
+        ps = ParticleSet(positions=pos, masses=np.ones(40))
+        cfg = SchemeConfig(mode="potential", degree=4)
+        subs = build_local_trees(ps, level1_cells(), ROOT, cfg, BITS)
+        infos = local_branch_infos(subs, rank=0, root=ROOT, degree=4)
+        exp = MultipoleExpansion3D(4)
+        cell_center = Cell(1, 0).box(ROOT).center
+        direct = exp.p2m(pos - cell_center, ps.masses)
+        np.testing.assert_allclose(infos[0].coeffs, direct, atol=1e-9)
+
+
+class TestBuildTopTree:
+    def _infos(self, ps, degree=0):
+        subs = build_local_trees(ps, level1_cells(), ROOT,
+                                 SchemeConfig(mode="potential",
+                                              degree=degree), BITS)
+        infos = []
+        for i, st in enumerate(subs):
+            part = local_branch_infos([st], rank=i % 4, root=ROOT,
+                                      degree=degree)
+            infos.extend(part)
+        return infos
+
+    def test_root_monopole(self):
+        ps = uniform_cube(300, seed=7)
+        top = build_top_tree(self._infos(ps), ROOT, degree=0)
+        assert top.tree.mass[0] == pytest.approx(ps.total_mass)
+        np.testing.assert_allclose(top.tree.com[0], ps.center_of_mass(),
+                                   atol=1e-9)
+
+    def test_branch_leaves_flagged_remote(self):
+        ps = uniform_cube(300, seed=8)
+        infos = self._infos(ps)
+        top = build_top_tree(infos, ROOT, degree=0)
+        for b in infos:
+            node = top.node_of_branch[b.key]
+            assert top.tree.is_remote(node)
+            assert top.tree.remote_owner[node] == b.owner
+            assert top.tree.count(node) == b.count
+
+    def test_multipole_root_matches_direct(self):
+        ps = uniform_cube(200, seed=9)
+        top = build_top_tree(self._infos(ps, degree=4), ROOT, degree=4)
+        exp = MultipoleExpansion3D(4)
+        direct = exp.p2m(ps.positions - ROOT.center, ps.masses)
+        np.testing.assert_allclose(top.coeffs[0], direct, atol=1e-8)
+
+    def test_varying_depth_branches(self):
+        """DPDA-style: branch cells at different depths merge fine."""
+        rng = np.random.default_rng(10)
+        ps = ParticleSet(positions=rng.uniform(0, 1, (100, 3)),
+                         masses=np.ones(100))
+        cells = [Cell(1, k) for k in range(4)] + \
+                [Cell(2, k) for k in range(32, 64)]
+        subs = build_local_trees(ps, cells, ROOT, SchemeConfig(), BITS)
+        infos = []
+        for i, st in enumerate(subs):
+            infos.extend(local_branch_infos([st], rank=i % 3, root=ROOT,
+                                            degree=0))
+        top = build_top_tree(infos, ROOT, degree=0)
+        assert top.tree.mass[0] == pytest.approx(100.0)
+
+    def test_overlapping_branches_rejected(self):
+        ps = uniform_cube(100, seed=11)
+        infos = self._infos(ps)
+        bad = local_branch_infos(
+            build_local_trees(ps, [Cell(0, 0)], ROOT, SchemeConfig(), BITS),
+            rank=9, root=ROOT, degree=0)
+        with pytest.raises(ValueError, match="overlap"):
+            build_top_tree(infos + bad, ROOT, degree=0)
+
+    def test_empty_branch_list_rejected(self):
+        with pytest.raises(ValueError):
+            build_top_tree([], ROOT, degree=0)
+
+    def test_missing_coeffs_rejected(self):
+        ps = uniform_cube(50, seed=12)
+        infos = self._infos(ps, degree=0)
+        with pytest.raises(ValueError, match="lacks multipole"):
+            build_top_tree(infos, ROOT, degree=3)
+
+
+class TestDistributedMerge:
+    def _run(self, merge_kind, p=4):
+        ps = uniform_cube(400, seed=13)
+
+        def main(comm, merge_kind):
+            # rank owns octants rank*2 and rank*2+1
+            cells = [Cell(1, comm.rank * 2), Cell(1, comm.rank * 2 + 1)]
+            from repro.core.tree_build import assign_to_cells
+            slots = assign_to_cells(ps.positions, cells, ROOT, BITS)
+            mine = ps.subset(slots >= 0)
+            subs = build_local_trees(mine, cells, ROOT, SchemeConfig(),
+                                     BITS)
+            infos = local_branch_infos(subs, comm.rank, ROOT, degree=0)
+            if merge_kind == "broadcast":
+                top = merge_broadcast(comm, infos, ROOT, degree=0)
+            else:
+                top = merge_nonreplicated(comm, infos, ROOT, degree=0)
+            return (float(top.tree.mass[0]), top.tree.com[0].copy(),
+                    len(top.node_of_branch), comm.clock.timings.seconds)
+
+        return ps, Engine(p, ZERO_COST, recv_timeout=30.0).run(
+            main, merge_kind)
+
+    @pytest.mark.parametrize("kind", ["broadcast", "nonreplicated"])
+    def test_all_ranks_agree_on_root(self, kind):
+        ps, rep = self._run(kind)
+        masses = [v[0] for v in rep.values]
+        assert all(m == pytest.approx(ps.total_mass) for m in masses)
+        for v in rep.values:
+            np.testing.assert_allclose(v[1], ps.center_of_mass(),
+                                       atol=1e-9)
+
+    def test_both_merges_identical_results(self):
+        _, rep_b = self._run("broadcast")
+        _, rep_n = self._run("nonreplicated")
+        for vb, vn in zip(rep_b.values, rep_n.values):
+            assert vb[0] == pytest.approx(vn[0])
+            np.testing.assert_allclose(vb[1], vn[1], atol=1e-12)
+            assert vb[2] == vn[2]
+
+    def test_phases_charged(self):
+        _, rep = self._run("broadcast")
+        phases = rep.values[0][3]
+        assert "tree merging" in phases
+        assert "all-to-all broadcast" in phases

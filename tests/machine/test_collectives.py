@@ -1,0 +1,212 @@
+"""Tests for the collective operations (correctness + cost structure)."""
+
+import operator
+
+import pytest
+
+from repro.machine.costmodel import MachineProfile
+from repro.machine.engine import Engine
+from repro.machine.profiles import ZERO_COST
+
+TOY = MachineProfile(name="toy", topology_kind="hypercube",
+                     t_s=10.0, t_h=1.0, t_w=0.5, flops_per_second=1.0)
+
+SIZES = [1, 2, 3, 4, 7, 8, 16]
+
+
+def run(p, main, profile=ZERO_COST):
+    return Engine(p, profile, recv_timeout=15.0).run(main)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_all_ranks_get_root_value(self, p):
+        def main(comm):
+            v = {"data": 99} if comm.rank == 0 else None
+            return comm.bcast(v, root=0)["data"]
+
+        assert run(p, main).values == [99] * p
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        def main(comm):
+            v = comm.rank if comm.rank == root else None
+            return comm.bcast(v, root=root)
+
+        assert run(4, main).values == [root] * 4
+
+    def test_invalid_root(self):
+        def main(comm):
+            comm.bcast(1, root=9)
+
+        with pytest.raises(RuntimeError, match="root"):
+            run(4, main)
+
+    def test_logarithmic_rounds(self):
+        """Binomial bcast on a zero-compute machine finishes in about
+        log2(p) message start-ups, not p of them."""
+        def main(comm):
+            comm.bcast(0.0, root=0)
+            return comm.now
+
+        t8 = max(run(8, main, TOY).values)
+        t64 = max(run(64, main, TOY).values)
+        # doubling log p (3 -> 6 rounds) should roughly double the time
+        assert t64 < 3 * t8
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum_at_root(self, p):
+        def main(comm):
+            return comm.reduce(comm.rank + 1, operator.add, root=0)
+
+        rep = run(p, main)
+        assert rep.values[0] == p * (p + 1) // 2
+        assert all(v is None for v in rep.values[1:])
+
+    def test_nonzero_root(self):
+        def main(comm):
+            return comm.reduce(comm.rank, operator.add, root=2)
+
+        rep = run(4, main)
+        assert rep.values[2] == 6
+        assert rep.values[0] is None
+
+    def test_max_reduction(self):
+        def main(comm):
+            return comm.reduce((comm.rank * 7) % 5, max, root=0)
+
+        assert run(5, main).values[0] == 4
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_everyone_gets_sum(self, p):
+        def main(comm):
+            return comm.allreduce(comm.rank, operator.add)
+
+        assert run(p, main).values == [p * (p - 1) // 2] * p
+
+    def test_clocks_synchronised_at_or_above_slowest(self):
+        """After an allreduce every rank's clock must be at least the
+        slowest participant's entry time."""
+        def main(comm):
+            comm.compute(1000.0 if comm.rank == 2 else 1.0)
+            comm.allreduce(0, operator.add)
+            return comm.now
+
+        rep = run(8, main, TOY)
+        assert min(rep.values) >= 1000.0
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8])
+    def test_barrier_completes(self, p):
+        def main(comm):
+            comm.barrier()
+            return True
+
+        assert all(run(p, main).values)
+
+    def test_barrier_orders_virtual_time(self):
+        def main(comm):
+            comm.compute(500.0 * comm.rank)
+            comm.barrier()
+            return comm.now
+
+        rep = run(4, main, TOY)
+        assert min(rep.values) >= 1500.0
+
+
+class TestGather:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_rank_ordered_list_at_root(self, p):
+        def main(comm):
+            return comm.gather(comm.rank * 10, root=0)
+
+        rep = run(p, main)
+        assert rep.values[0] == [r * 10 for r in range(p)]
+        assert all(v is None for v in rep.values[1:])
+
+    def test_nonzero_root(self):
+        def main(comm):
+            return comm.gather(chr(ord("a") + comm.rank), root=3)
+
+        assert run(4, main).values[3] == ["a", "b", "c", "d"]
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_everyone_gets_ordered_list(self, p):
+        def main(comm):
+            return comm.allgather(comm.rank ** 2)
+
+        expected = [r ** 2 for r in range(p)]
+        assert run(p, main).values == [expected] * p
+
+    def test_payload_objects_survive(self):
+        def main(comm):
+            vals = comm.allgather({"rank": comm.rank})
+            return [v["rank"] for v in vals]
+
+        assert run(8, main).values[5] == list(range(8))
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_personalized_exchange(self, p):
+        def main(comm):
+            out = [comm.rank * 100 + dst for dst in range(p)]
+            return comm.alltoall(out)
+
+        rep = run(p, main)
+        for r in range(p):
+            assert rep.values[r] == [src * 100 + r for src in range(p)]
+
+    def test_wrong_length_rejected(self):
+        def main(comm):
+            comm.alltoall([0])
+
+        with pytest.raises(RuntimeError, match="exactly"):
+            run(4, main)
+
+
+class TestScan:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_inclusive_prefix_sum(self, p):
+        def main(comm):
+            return comm.scan(comm.rank + 1, operator.add)
+
+        assert run(p, main).values == [
+            (r + 1) * (r + 2) // 2 for r in range(p)
+        ]
+
+    def test_noncommutative_order_is_rank_order(self):
+        """Scan must combine values in rank order (string concat shows it)."""
+        def main(comm):
+            return comm.scan(str(comm.rank), operator.add)
+
+        assert run(5, main).values == ["0", "01", "012", "0123", "01234"]
+
+
+class TestTagIsolation:
+    def test_collectives_do_not_steal_user_messages(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("user-data", dst=1, tag=0)
+            comm.barrier()
+            comm.allgather(comm.rank)
+            if comm.rank == 1:
+                return comm.recv(src=0, tag=0)
+
+        assert run(4, main).values[1] == "user-data"
+
+    def test_back_to_back_collectives_do_not_mix(self):
+        def main(comm):
+            a = comm.allgather(("first", comm.rank))
+            b = comm.allgather(("second", comm.rank))
+            return a[0][0], b[0][0]
+
+        for vals in run(8, main).values:
+            assert vals == ("first", "second")

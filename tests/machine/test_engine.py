@@ -1,0 +1,126 @@
+"""Tests for the SPMD engine and run reports."""
+
+import pytest
+
+from repro.machine.costmodel import MachineProfile
+from repro.machine.engine import Engine, RunReport, RankResult
+from repro.machine.clock import PhaseTimings
+from repro.machine.comm import CommStats
+from repro.machine.profiles import NCUBE2, ZERO_COST
+
+TOY = MachineProfile(name="toy", topology_kind="hypercube",
+                     t_s=10.0, t_h=1.0, t_w=0.5, flops_per_second=1.0)
+
+
+class TestEngine:
+    def test_rank_identity(self):
+        rep = Engine(4).run(lambda comm: (comm.rank, comm.size))
+        assert rep.values == [(r, 4) for r in range(4)]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Engine(0)
+
+    def test_shared_args(self):
+        rep = Engine(3).run(lambda comm, a, b: a + b + comm.rank, 10, 20)
+        assert rep.values == [30, 31, 32]
+
+    def test_rank_args(self):
+        rep = Engine(3).run(lambda comm, x: x * 2,
+                            rank_args=[(1,), (2,), (3,)])
+        assert rep.values == [2, 4, 6]
+
+    def test_rank_args_length_checked(self):
+        with pytest.raises(ValueError):
+            Engine(3).run(lambda comm, x: x, rank_args=[(1,)])
+
+    def test_exception_propagates_with_rank(self):
+        def main(comm):
+            if comm.rank == 2:
+                raise ValueError("bad physics")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 2.*bad physics"):
+            Engine(4, recv_timeout=10.0).run(main)
+
+    def test_exception_does_not_hang_other_ranks(self):
+        """Ranks blocked in recv must be released when a peer dies."""
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead")
+            comm.recv(src=0)
+
+        with pytest.raises(RuntimeError):
+            Engine(2, recv_timeout=30.0).run(main)
+
+    def test_large_rank_count(self):
+        def main(comm):
+            return comm.allreduce(1, lambda a, b: a + b)
+
+        rep = Engine(128, NCUBE2).run(main)
+        assert rep.values == [128] * 128
+
+
+class TestRunReport:
+    def _report(self):
+        def main(comm):
+            with comm.phase("tree"):
+                comm.compute(10.0 * (comm.rank + 1))
+            with comm.phase("force"):
+                comm.compute(100.0)
+            if comm.rank == 0:
+                comm.send(b"xxxx", dst=1)
+            elif comm.rank == 1:
+                comm.recv(src=0)
+            return comm.rank
+
+        return Engine(4, TOY).run(main)
+
+    def test_parallel_time_is_makespan(self):
+        rep = self._report()
+        assert rep.parallel_time == max(r.time for r in rep.ranks)
+
+    def test_phase_max(self):
+        rep = self._report()
+        assert rep.phase_max()["tree"] == pytest.approx(40.0)
+        assert rep.phase_max()["force"] == pytest.approx(100.0)
+
+    def test_phase_mean(self):
+        rep = self._report()
+        assert rep.phase_mean()["tree"] == pytest.approx(25.0)
+
+    def test_traffic_totals(self):
+        rep = self._report()
+        assert rep.total_messages == 1
+        assert rep.total_bytes == 4
+
+    def test_load_imbalance_overall(self):
+        rep = self._report()
+        assert rep.load_imbalance() > 1.0
+
+    def test_load_imbalance_balanced_phase(self):
+        rep = self._report()
+        assert rep.load_imbalance("force") == pytest.approx(1.0)
+
+    def test_size_property(self):
+        assert self._report().size == 4
+
+    def test_load_imbalance_empty_phase(self):
+        rep = RunReport(ranks=[
+            RankResult(rank=0, value=None, time=0.0,
+                       timings=PhaseTimings(), stats=CommStats())
+        ])
+        assert rep.load_imbalance() == 1.0
+
+
+class TestDeterminism:
+    def test_virtual_times_reproducible(self):
+        def main(comm):
+            comm.compute(float(comm.rank) * 3.0)
+            comm.allgather(comm.rank)
+            comm.alltoall(list(range(comm.size)))
+            comm.barrier()
+            return comm.now
+
+        runs = [Engine(16, NCUBE2).run(main).values for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]

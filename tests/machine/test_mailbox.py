@@ -1,0 +1,104 @@
+"""Tests for the matched message queues."""
+
+import threading
+
+import pytest
+
+from repro.machine.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
+
+
+def msg(src=0, tag=0, payload=None, arrival=0.0, nbytes=0):
+    return Message(arrival=arrival, src=src, tag=tag,
+                   payload=payload, nbytes=nbytes)
+
+
+class TestMatching:
+    def test_fifo_per_source_tag(self):
+        box = Mailbox(0)
+        box.put(msg(src=1, tag=7, payload="a", arrival=1.0))
+        box.put(msg(src=1, tag=7, payload="b", arrival=2.0))
+        assert box.get(src=1, tag=7).payload == "a"
+        assert box.get(src=1, tag=7).payload == "b"
+
+    def test_tag_filtering(self):
+        box = Mailbox(0)
+        box.put(msg(src=1, tag=1, payload="x"))
+        box.put(msg(src=1, tag=2, payload="y"))
+        assert box.get(src=1, tag=2).payload == "y"
+        assert box.get(src=1, tag=1).payload == "x"
+
+    def test_source_filtering(self):
+        box = Mailbox(0)
+        box.put(msg(src=2, payload="from2"))
+        box.put(msg(src=3, payload="from3"))
+        assert box.get(src=3).payload == "from3"
+
+    def test_wildcard_picks_earliest_virtual_arrival(self):
+        box = Mailbox(0)
+        box.put(msg(src=5, payload="late", arrival=9.0))
+        box.put(msg(src=2, payload="early", arrival=1.0))
+        assert box.get(ANY_SOURCE, ANY_TAG).payload == "early"
+
+    def test_wildcard_ties_broken_by_source(self):
+        box = Mailbox(0)
+        box.put(msg(src=5, payload="five", arrival=1.0))
+        box.put(msg(src=2, payload="two", arrival=1.0))
+        assert box.get().payload == "two"
+
+    def test_poll_returns_none_when_empty(self):
+        assert Mailbox(0).poll() is None
+
+    def test_poll_respects_filter(self):
+        box = Mailbox(0)
+        box.put(msg(src=1, tag=4))
+        assert box.poll(src=2) is None
+        assert box.poll(src=1, tag=4) is not None
+
+    def test_probe_does_not_consume(self):
+        box = Mailbox(0)
+        box.put(msg(src=1))
+        assert box.probe(src=1)
+        assert box.probe(src=1)
+        assert box.pending_count() == 1
+
+
+class TestBlockingAndTimeout:
+    def test_get_blocks_until_put(self):
+        box = Mailbox(0)
+        got = []
+
+        def receiver():
+            got.append(box.get(src=1).payload)
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        box.put(msg(src=1, payload=42))
+        t.join(timeout=5)
+        assert got == [42]
+
+    def test_timeout_raises(self):
+        box = Mailbox(0)
+        with pytest.raises(TimeoutError, match="deadlock"):
+            box.get(src=1, timeout=0.05)
+
+    def test_close_wakes_blocked_receiver(self):
+        box = Mailbox(3)
+        errors = []
+
+        def receiver():
+            try:
+                box.get(src=1, timeout=5)
+            except RuntimeError as e:
+                errors.append(str(e))
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        box.close()
+        t.join(timeout=5)
+        assert errors and "closed" in errors[0]
+
+    def test_put_after_close_rejected(self):
+        box = Mailbox(0)
+        box.close()
+        with pytest.raises(RuntimeError):
+            box.put(msg())

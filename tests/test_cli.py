@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheme == "spda"
+        assert args.machine == "ncube2"
+        assert args.procs == 16
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "hashed"])
+
+
+class TestCommands:
+    def test_instances(self, capsys):
+        assert main(["instances"]) == 0
+        out = capsys.readouterr().out
+        assert "g_160535" in out
+        assert "s_10g_b" in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "nCUBE2" in out and "CM5" in out and "T3E" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--instance", "g_5000", "--scale", "0.05",
+            "--scheme", "dpda", "--procs", "4", "--machine", "zero",
+            "--steps", "1", "--check",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "virtual parallel time" in out
+        assert "force computation" in out
+        assert "median force rel error" in out
+
+    def test_run_potential_check(self, capsys):
+        code = main([
+            "run", "--instance", "p_2000", "--scale", "0.1",
+            "--procs", "2", "--machine", "zero",
+            "--mode", "potential", "--check",
+        ])
+        assert code == 0
+        assert "fractional % error" in capsys.readouterr().out
