@@ -71,6 +71,7 @@ def _cmd_run(args) -> int:
         fractional_percent_error,
         make_instance,
     )
+    from repro.machine.faults import FaultPlan
     from repro.machine.profiles import get_profile
 
     particles = make_instance(args.instance, scale=args.scale,
@@ -81,12 +82,25 @@ def _cmd_run(args) -> int:
         leaf_capacity=args.leaf_capacity,
     )
     profile = get_profile(args.machine)
+    fault_plan = (FaultPlan.load(args.fault_plan)
+                  if args.fault_plan else None)
     print(f"{args.instance} (scale {args.scale}: {particles.n} particles) "
           f"| {args.scheme.upper()} on {profile.name} x{args.procs} "
           f"| alpha={args.alpha} degree={args.degree} mode={args.mode}")
+    if fault_plan is not None:
+        print(f"fault plan: {args.fault_plan} "
+              f"(seed {fault_plan.seed}, drop {fault_plan.drop_rate}, "
+              f"dup {fault_plan.dup_rate}, delay {fault_plan.delay_rate}, "
+              f"crashes {fault_plan.crash or '-'}, "
+              f"slowdowns {fault_plan.slowdown or '-'})"
+              + (" | reliable delivery" if args.reliable else "")
+              + (f" | checkpoint every {args.checkpoint_every}"
+                 if args.checkpoint_every else ""))
 
     sim = ParallelBarnesHut(particles, config, p=args.procs,
-                            profile=profile)
+                            profile=profile, fault_plan=fault_plan,
+                            reliable=args.reliable,
+                            checkpoint_every=args.checkpoint_every)
     result = sim.run(steps=args.steps)
 
     print(f"\nvirtual parallel time   {result.parallel_time:10.3f} s")
@@ -97,6 +111,12 @@ def _cmd_run(args) -> int:
     for phase, t in sorted(result.phase_breakdown().items(),
                            key=lambda kv: -kv[1]):
         print(f"  {phase:<26s} {t:10.3f} s")
+    faults = result.fault_summary()
+    if fault_plan is not None or any(faults.values()):
+        print("fault/recovery counters:")
+        for k, v in faults.items():
+            print(f"  {k:<26s} {v:10d}")
+        print(f"  {'checkpoint_recoveries':<26s} {result.recoveries:10d}")
 
     if args.check and args.mode == "potential":
         exact = direct_potentials(particles)
@@ -146,6 +166,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--steps", type=int, default=1)
     run.add_argument("--check", action="store_true",
                      help="compare against O(n^2) direct summation")
+    run.add_argument("--fault-plan", metavar="PATH",
+                     help="JSON fault plan (seeded drops/dups/delays, "
+                          "rank crashes and slowdowns)")
+    run.add_argument("--reliable", action="store_true",
+                     help="enable the ack/retransmit recovery layer")
+    run.add_argument("--checkpoint-every", type=int, metavar="N",
+                     help="checkpoint every N steps; recover rank "
+                          "crashes by rollback instead of failing")
     return parser
 
 

@@ -38,7 +38,12 @@ from repro.core.branch_nodes import (
     SortedBranchIndex,
     branch_key,
 )
-from repro.core.simulation import ParallelBarnesHut, StepResult
+from repro.core.checkpoint import CheckpointStore, RankCheckpoint
+from repro.core.simulation import (
+    ParallelBarnesHut,
+    SimulationResult,
+    StepResult,
+)
 
 __all__ = [
     "SchemeConfig",
@@ -55,5 +60,8 @@ __all__ = [
     "SortedBranchIndex",
     "branch_key",
     "ParallelBarnesHut",
+    "SimulationResult",
     "StepResult",
+    "CheckpointStore",
+    "RankCheckpoint",
 ]

@@ -223,13 +223,27 @@ class BinManager:
             if dst != comm.rank:
                 comm.send({"sentinel": self._bins_sent_to.get(dst, 0)},
                           dst, tag=TAG_REQUEST, nbytes=4)
+        def is_sentinel(p) -> bool:
+            return isinstance(p, dict) and "sentinel" in p
+
         raw = []
         for src in range(comm.size):
             if src != comm.rank:
-                raw.extend(comm.collect_raw(
-                    src, TAG_REQUEST,
-                    lambda p: isinstance(p, dict) and "sentinel" in p,
-                ))
+                msgs = comm.collect_raw(src, TAG_REQUEST, is_sentinel)
+                # The mailbox matches by earliest *virtual arrival*, and a
+                # retransmitted or delayed bin can arrive after the
+                # sentinel that announces it — so trust the sentinel's
+                # count, not the ordering, and keep collecting until every
+                # announced bin is in hand.
+                expected = next(m.payload["sentinel"] for m in msgs
+                                if is_sentinel(m.payload))
+                got = sum(1 for m in msgs if not is_sentinel(m.payload))
+                while got < expected:
+                    msgs.extend(comm.collect_raw(
+                        src, TAG_REQUEST, lambda p: True,
+                    ))
+                    got += 1
+                raw.extend(msgs)
         raw.sort()
         for msg in raw:
             comm.charge_recv(msg)

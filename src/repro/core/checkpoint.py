@@ -1,0 +1,99 @@
+"""Coordinated checkpoint/restart for the parallel simulation.
+
+Recovery model: every rank snapshots its cross-step state (particles,
+measured loads, key boundaries, virtual clock) into a host-side
+:class:`CheckpointStore` at step boundaries.  When a rank crashes
+(:class:`~repro.machine.faults.RankCrashedError`), the host rolls *every*
+rank back to the last step boundary all ranks completed — a coordinated
+global rollback, the textbook recovery for message-passing programs whose
+steps are separated by collective operations — replaces the dead node,
+and re-runs from there.  Because the machine is deterministic, the
+re-executed steps reproduce the fault-free trajectory bitwise.
+
+Snapshots are deep copies taken at a quiescent point (between steps, no
+messages in flight), so no channel state needs saving.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.bh.particles import ParticleSet
+
+
+def _copy_array(a: np.ndarray | None) -> np.ndarray | None:
+    return None if a is None else np.array(a, copy=True)
+
+
+def _copy_particles(ps: ParticleSet) -> ParticleSet:
+    return ps.subset(np.arange(ps.n))
+
+
+@dataclass
+class RankCheckpoint:
+    """One rank's cross-step state at a step boundary.
+
+    ``step`` is the index of the *next* step to execute on restore; all
+    ``results`` entries cover steps ``0 .. step-1``.
+    """
+
+    rank: int
+    step: int
+    particles: ParticleSet
+    cluster_owners: np.ndarray | None
+    cluster_load: np.ndarray | None
+    key_boundaries: np.ndarray | None
+    my_particle_loads: np.ndarray | None
+    last_values: np.ndarray | None
+    clock_now: float
+    phase_seconds: dict[str, float]
+    results: list[Any] = field(default_factory=list)
+
+
+class CheckpointStore:
+    """Thread-safe host-side store of per-(step, rank) checkpoints.
+
+    Ranks write concurrently from their virtual-machine threads; the host
+    reads after the run (or after a crash) to build the restart state.
+    Only the newest ``keep`` step levels are retained per rank.
+    """
+
+    def __init__(self, size: int, keep: int = 2):
+        if size < 1:
+            raise ValueError("store needs at least one rank")
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint level")
+        self.size = size
+        self.keep = keep
+        self._lock = threading.Lock()
+        self._by_rank: dict[int, dict[int, RankCheckpoint]] = {
+            r: {} for r in range(size)
+        }
+
+    def save(self, ckpt: RankCheckpoint) -> None:
+        with self._lock:
+            levels = self._by_rank[ckpt.rank]
+            levels[ckpt.step] = ckpt
+            while len(levels) > self.keep:
+                del levels[min(levels)]
+
+    def steps_for(self, rank: int) -> list[int]:
+        with self._lock:
+            return sorted(self._by_rank[rank])
+
+    def latest_common_step(self) -> int | None:
+        """Newest step boundary every rank has a checkpoint for."""
+        with self._lock:
+            common: set[int] | None = None
+            for levels in self._by_rank.values():
+                steps = set(levels)
+                common = steps if common is None else common & steps
+            return max(common) if common else None
+
+    def get(self, rank: int, step: int) -> RankCheckpoint:
+        with self._lock:
+            return self._by_rank[rank][step]

@@ -35,6 +35,12 @@ from repro.bh import morton as _morton
 from repro.bh.morton import morton_keys
 from repro.bh.particles import Box, ParticleSet
 from repro.core.assignment import clusters_of_rank, spsa_assignment
+from repro.core.checkpoint import (
+    CheckpointStore,
+    RankCheckpoint,
+    _copy_array,
+    _copy_particles,
+)
 from repro.core.config import SchemeConfig
 from repro.core.function_shipping import ForceResult, FunctionShippingEngine
 from repro.core.load_model import cluster_loads, particle_loads
@@ -43,9 +49,11 @@ from repro.core.partition import Cell, cluster_keys, cover_cells
 from repro.core.tree_build import build_local_trees, local_branch_infos, \
     tree_build_flops
 from repro.core.tree_merge import merge_broadcast, merge_nonreplicated
+from repro.machine.clock import PhaseTimings
 from repro.machine.comm import Comm
 from repro.machine.costmodel import MachineProfile
 from repro.machine.engine import Engine, RunReport
+from repro.machine.faults import FaultPlan, RankCrashedError, ReliableConfig
 from repro.machine.profiles import NCUBE2
 
 PHASE_SETUP = "setup"
@@ -63,7 +71,7 @@ class StepResult:
 
     n_local: int
     force: ForceResult
-    moved_in: int = 0      # particles received in the balancing exchange
+    moved_in: int = 0      # net particles gained in the balancing exchange
     virtual_seconds: float = 0.0   # this rank's clock time for the step
 
 
@@ -77,10 +85,15 @@ class SimulationResult:
     positions: np.ndarray      # final particle positions, original order
     velocities: np.ndarray
     steps: list[list[StepResult]]   # [step][rank]
+    recoveries: int = 0        # crash-recovery rollbacks performed
 
     @property
     def parallel_time(self) -> float:
         return self.run.parallel_time
+
+    def fault_summary(self) -> dict[str, int]:
+        """Injected-fault / recovery counters of the (final) run."""
+        return self.run.fault_summary()
 
     def phase_breakdown(self) -> dict[str, float]:
         return self.run.phase_max()
@@ -141,12 +154,42 @@ class _RankState:
         self.bits = bits
         self.particles = particles
         self.dims = root.dims
+        self._last_values: np.ndarray | None = None
         # SPSA/SPDA cluster state
         self.cluster_owners: np.ndarray | None = None
         self.cluster_load: np.ndarray | None = None
         # DPDA state
         self.key_boundaries: np.ndarray | None = None
         self.my_particle_loads: np.ndarray | None = None
+
+    # ---------------------------------------------- checkpoint / restore
+    def snapshot(self, next_step: int,
+                 results: list[StepResult]) -> RankCheckpoint:
+        """Deep-copy everything carried across steps (quiescent point)."""
+        comm = self.comm
+        return RankCheckpoint(
+            rank=comm.rank, step=next_step,
+            particles=_copy_particles(self.particles),
+            cluster_owners=_copy_array(self.cluster_owners),
+            cluster_load=_copy_array(self.cluster_load),
+            key_boundaries=_copy_array(self.key_boundaries),
+            my_particle_loads=_copy_array(self.my_particle_loads),
+            last_values=_copy_array(self._last_values),
+            clock_now=comm.clock.now,
+            phase_seconds=dict(comm.clock.timings.seconds),
+            results=list(results),
+        )
+
+    def restore(self, ckpt: RankCheckpoint) -> None:
+        """Adopt a checkpoint's state, clock included (global rollback)."""
+        self.particles = _copy_particles(ckpt.particles)
+        self.cluster_owners = _copy_array(ckpt.cluster_owners)
+        self.cluster_load = _copy_array(ckpt.cluster_load)
+        self.key_boundaries = _copy_array(ckpt.key_boundaries)
+        self.my_particle_loads = _copy_array(ckpt.my_particle_loads)
+        self._last_values = _copy_array(ckpt.last_values)
+        self.comm.clock.now = ckpt.clock_now
+        self.comm.clock.timings = PhaseTimings(dict(ckpt.phase_seconds))
 
     # -------------------------------------------------- decomposition
     def decompose(self, step: int) -> list[Cell]:
@@ -240,8 +283,10 @@ class _RankState:
     # ------------------------------------------------------- one step
     def step(self, step_no: int, dt: float | None) -> StepResult:
         comm, cfg = self.comm, self.config
-        cells = self.decompose(step_no)
+        # Count before the balancing exchange inside decompose() so
+        # moved_in reports the net particles gained by this rank.
         before = self.particles.n
+        cells = self.decompose(step_no)
 
         with comm.clock.phase(PHASE_TREE):
             subtrees = build_local_trees(self.particles, cells, self.root,
@@ -268,6 +313,12 @@ class _RankState:
         # requester-side top-tree cost attributed to each local particle.
         from repro.analysis.flops import interaction_flops
         per_int = interaction_flops(cfg.degree)
+        # Loads are scaled by this rank's measured effective slowdown so
+        # they are expressed in *time*, not flops: a degraded rank reports
+        # its work as proportionally heavier and the next step's balancer
+        # sheds load off it (the paper's own dynamic-assignment machinery
+        # doubles as the graceful-degradation mechanism).
+        slow = comm.slowdown
         if cfg.scheme == "spda":
             r = cfg.clusters(self.dims)
             arr = np.zeros(r)
@@ -277,12 +328,12 @@ class _RankState:
                 keys = cluster_keys(self.particles.positions, self.root,
                                     cfg.grid_level)
                 np.add.at(arr, keys, engine.requester_flops)
-            self.cluster_load = arr
+            self.cluster_load = arr * slow
         elif cfg.scheme == "dpda":
             self.my_particle_loads = (
                 particle_loads(subtrees, self.particles.n) * per_int
                 + engine.requester_flops
-            )
+            ) * slow
 
         if dt is not None and self.particles.n:
             with comm.clock.phase(PHASE_ADVANCE):
@@ -303,14 +354,32 @@ class _RankState:
 
 
 def _rank_main(comm: Comm, config: SchemeConfig, root: Box, bits: int,
-               steps: int, dt: float | None, shard: ParticleSet):
-    state = _RankState(comm, config, root, bits, shard)
-    results = []
-    for i in range(steps):
+               steps: int, dt: float | None,
+               checkpoint_every: int | None, store: CheckpointStore | None,
+               shard: ParticleSet | None,
+               resume_from: RankCheckpoint | None = None):
+    if resume_from is not None:
+        state = _RankState(comm, config, root, bits,
+                           ParticleSet.empty(root.dims))
+        state.restore(resume_from)
+        results = list(resume_from.results)
+        start = resume_from.step
+    else:
+        state = _RankState(comm, config, root, bits, shard)
+        results = []
+        start = 0
+        if store is not None:
+            # Step-0 snapshot: a crash in the very first step can still
+            # roll back to the initial deal.
+            store.save(state.snapshot(0, results))
+    for i in range(start, steps):
         t0 = comm.now
         sr = state.step(i, dt)
         sr.virtual_seconds = comm.now - t0
         results.append(sr)
+        if (store is not None and checkpoint_every
+                and (i + 1) % checkpoint_every == 0):
+            store.save(state.snapshot(i + 1, results))
     return {
         "steps": results,
         "ids": state.particles.ids,
@@ -337,12 +406,25 @@ class ParallelBarnesHut:
     bits:
         Morton key depth for decomposition; default 12 (3-D) is ample
         for bench-scale instances while keeping cover cells small.
+    fault_plan:
+        Optional :class:`~repro.machine.faults.FaultPlan` of injected
+        faults (drops, duplicates, delays, crashes, slowdowns).
+    reliable:
+        Enable the ack/retransmit recovery layer (``True`` for default
+        parameters, or a :class:`~repro.machine.faults.ReliableConfig`).
+    checkpoint_every:
+        Snapshot every rank's cross-step state at this step cadence; on a
+        rank crash the run rolls back to the newest common checkpoint and
+        re-executes (without it a crash is fatal).
     """
 
     def __init__(self, particles: ParticleSet, config: SchemeConfig,
                  p: int, profile: MachineProfile = NCUBE2,
                  root: Box | None = None, bits: int | None = None,
-                 recv_timeout: float | None = 600.0):
+                 recv_timeout: float | None = 600.0,
+                 fault_plan: FaultPlan | None = None,
+                 reliable: ReliableConfig | bool | None = None,
+                 checkpoint_every: int | None = None):
         if particles.n == 0:
             raise ValueError("cannot simulate zero particles")
         if p < 1:
@@ -365,6 +447,11 @@ class ParallelBarnesHut:
                 f"clusters < {p} processors"
             )
         self.recv_timeout = recv_timeout
+        self.fault_plan = fault_plan
+        self.reliable = reliable
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.checkpoint_every = checkpoint_every
 
     def _shards(self) -> list[ParticleSet]:
         keys = morton_keys(self.particles.positions, self.root.lo,
@@ -376,12 +463,35 @@ class ParallelBarnesHut:
     def run(self, steps: int = 1, dt: float | None = None) -> SimulationResult:
         if steps < 1:
             raise ValueError("need at least one step")
-        engine = Engine(self.p, self.profile,
-                        recv_timeout=self.recv_timeout)
-        report = engine.run(
-            _rank_main, self.config, self.root, self.bits, steps, dt,
-            rank_args=[(shard,) for shard in self._shards()],
-        )
+        plan = self.fault_plan
+        store = (CheckpointStore(self.p)
+                 if self.checkpoint_every is not None else None)
+        rank_args: list[tuple] = [(shard, None)
+                                  for shard in self._shards()]
+        recoveries = 0
+        while True:
+            engine = Engine(self.p, self.profile,
+                            recv_timeout=self.recv_timeout,
+                            fault_plan=plan, reliable=self.reliable)
+            try:
+                report = engine.run(
+                    _rank_main, self.config, self.root, self.bits, steps,
+                    dt, self.checkpoint_every, store,
+                    rank_args=rank_args,
+                )
+                break
+            except RankCrashedError as crash:
+                if store is None:
+                    raise
+                s = store.latest_common_step()
+                if s is None:
+                    raise
+                # Replace the failed node (its planned crash is spent) and
+                # roll every rank back to the newest common step boundary.
+                plan = plan.without_crash(crash.rank)
+                rank_args = [(None, store.get(r, s))
+                             for r in range(self.p)]
+                recoveries += 1
 
         n = self.particles.n
         d = self.particles.dims
@@ -404,5 +514,5 @@ class ParallelBarnesHut:
         return SimulationResult(
             run=report, config=self.config, values=values,
             positions=positions, velocities=velocities,
-            steps=step_results,
+            steps=step_results, recoveries=recoveries,
         )

@@ -29,8 +29,16 @@ from repro.machine.topology import (
 from repro.machine.costmodel import CostModel, MachineProfile
 from repro.machine.profiles import NCUBE2, CM5, T3E, ZERO_COST, get_profile
 from repro.machine.clock import VirtualClock, PhaseTimings
-from repro.machine.comm import Comm
+from repro.machine.comm import Comm, DeadlockError
 from repro.machine.engine import Engine, RankResult, RunReport
+from repro.machine.faults import (
+    FaultInjector,
+    FaultPlan,
+    RankCrashedError,
+    ReliableConfig,
+    ReliableDeliveryError,
+)
+from repro.machine.mailbox import MailboxClosedError
 
 __all__ = [
     "Topology",
@@ -49,7 +57,14 @@ __all__ = [
     "VirtualClock",
     "PhaseTimings",
     "Comm",
+    "DeadlockError",
     "Engine",
     "RankResult",
     "RunReport",
+    "FaultInjector",
+    "FaultPlan",
+    "RankCrashedError",
+    "ReliableConfig",
+    "ReliableDeliveryError",
+    "MailboxClosedError",
 ]

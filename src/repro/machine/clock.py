@@ -50,6 +50,19 @@ class VirtualClock:
         self.now = 0.0
         self.timings = PhaseTimings()
         self._phase_stack: list[str] = []
+        self._deadline: float | None = None
+        self._deadline_exc: "Callable[[], BaseException] | None" = None
+
+    def set_deadline(self, t: float, exc_factory) -> None:
+        """Arm a one-shot deadline: the first charge that moves the clock
+        to or past virtual time ``t`` stops exactly there and raises
+        ``exc_factory()`` (used to model a rank crash at time ``t``)."""
+        if t < self.now:
+            raise ValueError(
+                f"deadline {t} is already in the past (now={self.now})"
+            )
+        self._deadline = t
+        self._deadline_exc = exc_factory
 
     @property
     def current_phase(self) -> str:
@@ -60,7 +73,18 @@ class VirtualClock:
         if dt < 0:
             raise ValueError(f"cannot advance clock by negative dt {dt}")
         self.now += dt
-        self.timings.add(phase or self.current_phase, dt)
+        name = phase or self.current_phase
+        if self._deadline is not None and self.now >= self._deadline:
+            # The rank dies mid-charge: clamp the clock to the deadline so
+            # the reported crash time is exact, drop the overshoot from
+            # the phase accounting, and disarm (one-shot).
+            dt -= self.now - self._deadline
+            self.now = self._deadline
+            factory = self._deadline_exc
+            self._deadline = self._deadline_exc = None
+            self.timings.add(name, dt)
+            raise factory()
+        self.timings.add(name, dt)
 
     def wait_until(self, t: float, phase: str | None = None) -> None:
         """Move the clock to absolute virtual time ``t`` if it is behind."""

@@ -24,8 +24,50 @@ import numpy as np
 
 from repro.machine.clock import VirtualClock
 from repro.machine.costmodel import CostModel
+from repro.machine.faults import (
+    FaultInjector,
+    ReliableConfig,
+    ReliableDeliveryError,
+)
 from repro.machine.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
 from repro.machine import collectives as _coll
+
+
+class DeadlockError(RuntimeError):
+    """A blocking receive hit the watchdog: likely deadlock.
+
+    Carries a structured picture of the whole machine at detection time:
+    for every rank, the ``(src, tag)`` it is blocked on (if any) and what
+    its mailbox still holds, so the blocked cycle can be read straight
+    off the message instead of reverse-engineered from a bare timeout.
+    """
+
+    def __init__(self, rank: int, src: int, tag: int,
+                 waits: "list[tuple[int, int] | None] | None" = None,
+                 mailboxes: "list[Mailbox] | None" = None,
+                 timeout: float | None = None):
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.blocked = list(waits) if waits is not None else None
+        lines = [
+            f"rank {rank}: recv(src={src}, tag={tag}) timed out after "
+            f"{timeout}s — likely deadlock"
+        ]
+        if waits is not None and mailboxes is not None:
+            for r, w in enumerate(waits):
+                state = (f"blocked on recv(src={w[0]}, tag={w[1]})"
+                         if w is not None else "not blocked in recv")
+                held = mailboxes[r].pending_summary()
+                if held:
+                    pending = ", ".join(
+                        f"(src={s}, tag={t}) x{n}"
+                        for (s, t), n in sorted(held.items())
+                    )
+                else:
+                    pending = "empty"
+                lines.append(f"  rank {r}: {state}; mailbox holds {pending}")
+        super().__init__("\n".join(lines))
 
 
 def estimate_nbytes(payload: Any) -> int:
@@ -72,6 +114,14 @@ class CommStats:
     messages_received: int = 0
     bytes_received: int = 0
     bytes_by_tag: dict[int, int] = field(default_factory=dict)
+    # Fault-injection / reliable-delivery counters (all zero on a
+    # fault-free run, so existing accounting is unchanged).
+    drops_injected: int = 0          # transmissions the network ate
+    retransmissions: int = 0         # recovery resends (reliable layer)
+    duplicates_injected: int = 0     # extra copies the network delivered
+    duplicates_suppressed: int = 0   # copies this rank's mailbox dropped
+    delays_injected: int = 0         # messages given extra latency
+    messages_lost: int = 0           # drops never recovered (no reliability)
 
     def record_send(self, tag: int, nbytes: int) -> None:
         self.messages_sent += 1
@@ -90,7 +140,10 @@ class Comm:
     ANY_TAG = ANY_TAG
 
     def __init__(self, rank: int, size: int, cost: CostModel,
-                 mailboxes: list[Mailbox], recv_timeout: float | None = 120.0):
+                 mailboxes: list[Mailbox], recv_timeout: float | None = 120.0,
+                 injector: FaultInjector | None = None,
+                 reliable: ReliableConfig | None = None,
+                 waits: list | None = None):
         if not 0 <= rank < size:
             raise ValueError(f"rank {rank} out of range for size {size}")
         self.rank = rank
@@ -100,11 +153,30 @@ class Comm:
         self.stats = CommStats()
         self._mailboxes = mailboxes
         self._recv_timeout = recv_timeout
+        self._injector = injector
+        self._reliable = reliable
+        #: shared per-rank "currently blocked on (src, tag)" board, used
+        #: to assemble machine-wide deadlock reports.
+        self._waits = waits
+        self._xmit_seq = 0
+        self.slowdown = injector.slowdown(rank) if injector else 1.0
 
     # ----------------------------------------------------------------- time
     def compute(self, flops: float, phase: str | None = None) -> None:
-        """Charge ``flops`` floating-point operations of local work."""
-        self.clock.advance(self.cost.compute_time(flops), phase=phase)
+        """Charge ``flops`` floating-point operations of local work.
+
+        A rank under an injected slowdown pays ``slowdown`` times the
+        profile's flop time — its effective ``flops_per_second`` is
+        degraded, which the load balancers observe and respond to.
+        """
+        self.clock.advance(
+            self.cost.compute_time(flops, slowdown=self.slowdown),
+            phase=phase,
+        )
+
+    def effective_flops_per_second(self) -> float:
+        """This rank's measured effective compute rate (faults included)."""
+        return self.cost.profile.flops_per_second / self.slowdown
 
     def phase(self, name: str):
         """Context manager attributing virtual time to phase ``name``."""
@@ -117,32 +189,116 @@ class Comm:
     # ----------------------------------------------------- point to point
     def send(self, payload: Any, dst: int, tag: int = 0,
              nbytes: int | None = None) -> None:
-        """Send ``payload`` to rank ``dst`` (non-blocking buffered send)."""
+        """Send ``payload`` to rank ``dst`` (non-blocking buffered send).
+
+        With a fault injector attached, each transmission may be dropped,
+        duplicated or delayed.  Under the reliable layer a drop triggers
+        retransmission with exponential backoff: every retry costs the
+        sender another channel charge and pushes the message's virtual
+        arrival out by the timeout wait; duplicate copies carry the same
+        transmission id and are suppressed at the destination mailbox.
+        Without the reliable layer a dropped message is simply lost.
+        """
         if not 0 <= dst < self.size:
             raise ValueError(f"destination rank {dst} out of range")
         if nbytes is None:
             nbytes = estimate_nbytes(payload)
         p = self.cost.profile
         if dst == self.rank:
-            arrival = self.clock.now  # local delivery is free
-        else:
+            # Local delivery is free and never faulted.
+            self.stats.record_send(tag, nbytes)
+            self._mailboxes[dst].put(
+                Message(arrival=self.clock.now, src=self.rank, tag=tag,
+                        payload=payload, nbytes=nbytes)
+            )
+            return
+        hops = self.cost.topology.hops(self.rank, dst)
+        inj = self._injector
+        if inj is None:
             self.clock.advance(p.t_s + nbytes * p.t_w)
-            hops = self.cost.topology.hops(self.rank, dst)
-            arrival = self.clock.now + hops * p.t_h
+            self.stats.record_send(tag, nbytes)
+            self._mailboxes[dst].put(
+                Message(arrival=self.clock.now + hops * p.t_h,
+                        src=self.rank, tag=tag,
+                        payload=payload, nbytes=nbytes)
+            )
+            return
+
+        rel = self._reliable
+        penalty = 0.0      # timeout waits accumulated by retransmissions
+        retries = 0
+        while True:
+            decision = inj.decide(self.rank, dst, tag)
+            self.clock.advance(p.t_s + nbytes * p.t_w)
+            if not decision.drop:
+                break
+            self.stats.drops_injected += 1
+            if rel is None:
+                # Unreliable machine: the message is silently lost (the
+                # sender still paid for the transmission).
+                self.stats.messages_lost += 1
+                self.stats.record_send(tag, nbytes)
+                return
+            if retries >= rel.max_retries:
+                raise ReliableDeliveryError(
+                    f"rank {self.rank} -> {dst} tag {tag}: message still "
+                    f"undelivered after {retries} retransmissions"
+                )
+            penalty += rel.timeout * rel.backoff ** retries
+            retries += 1
+            self.stats.retransmissions += 1
+        if decision.extra_delay > 0:
+            self.stats.delays_injected += 1
         self.stats.record_send(tag, nbytes)
+        xmit_id = None
+        if rel is not None:
+            xmit_id = self._xmit_seq
+            self._xmit_seq += 1
+        arrival = (self.clock.now + hops * p.t_h
+                   + penalty + decision.extra_delay)
         self._mailboxes[dst].put(
             Message(arrival=arrival, src=self.rank, tag=tag,
-                    payload=payload, nbytes=nbytes)
+                    payload=payload, nbytes=nbytes, xmit_id=xmit_id)
         )
+        if decision.duplicate:
+            # The network delivered a second copy in flight: no extra
+            # sender charge; same transmission id, so a reliable receiver
+            # suppresses it (an unreliable one sees it twice).
+            self.stats.duplicates_injected += 1
+            self._mailboxes[dst].put(
+                Message(arrival=arrival, src=self.rank, tag=tag,
+                        payload=payload, nbytes=nbytes, xmit_id=xmit_id)
+            )
 
     # ``isend`` is an alias: the buffered send above never blocks in real
     # time, and its virtual charge models an eager-protocol send.
     isend = send
 
+    def _blocking_get(self, src: int, tag: int) -> Message:
+        """Matched receive with the deadlock watchdog: the wait is
+        advertised on the shared board, and a timeout raises a
+        machine-wide :class:`DeadlockError` instead of a bare timeout."""
+        if self._waits is not None:
+            self._waits[self.rank] = (src, tag)
+        try:
+            msg = self._mailboxes[self.rank].get(
+                src, tag, timeout=self._recv_timeout
+            )
+        except TimeoutError as exc:
+            # Leave this rank's board entry in place: it IS still blocked,
+            # and concurrent timeouts on other ranks snapshot the board
+            # for their own reports.
+            raise DeadlockError(
+                self.rank, src, tag, waits=self._waits,
+                mailboxes=self._mailboxes, timeout=self._recv_timeout,
+            ) from exc
+        if self._waits is not None:
+            self._waits[self.rank] = None
+        return msg
+
     def recv_msg(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
         """Blocking matched receive returning the full message record."""
-        msg = self._mailboxes[self.rank].get(src, tag,
-                                             timeout=self._recv_timeout)
+        msg = self._blocking_get(src, tag)
         self._finish_recv(msg)
         return msg
 
@@ -162,7 +318,7 @@ class Comm:
         if msg is None:
             return None
         if msg.arrival > self.clock.now:
-            box.put(msg)  # not virtually here yet; put it back
+            box.requeue(msg)  # not virtually here yet; put it back
             return None
         self._finish_recv(msg)
         return msg
@@ -184,10 +340,9 @@ class Comm:
         service time would on the real machine.
         """
         raw: list[Message] = []
-        box = self._mailboxes[self.rank]
         for src in sorted(counts):
             for _ in range(counts[src]):
-                raw.append(box.get(src, tag, timeout=self._recv_timeout))
+                raw.append(self._blocking_get(src, tag))
         raw.sort()
         for msg in raw:
             self._finish_recv(msg)
@@ -202,10 +357,9 @@ class Comm:
         a whole batch by virtual arrival.  Safe only for fire-and-forget
         streams whose completion does not depend on this rank acting.
         """
-        box = self._mailboxes[self.rank]
         out: list[Message] = []
         while True:
-            msg = box.get(src, tag, timeout=self._recv_timeout)
+            msg = self._blocking_get(src, tag)
             out.append(msg)
             if stop(msg.payload):
                 return out

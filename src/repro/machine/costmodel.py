@@ -92,11 +92,18 @@ class CostModel:
         p = self.profile
         return p.t_s + hops * p.t_h + nbytes * p.t_w
 
-    def compute_time(self, flops: float) -> float:
-        """Virtual seconds for ``flops`` floating-point operations."""
+    def compute_time(self, flops: float, slowdown: float = 1.0) -> float:
+        """Virtual seconds for ``flops`` floating-point operations.
+
+        ``slowdown >= 1`` models a degraded node whose effective
+        ``flops_per_second`` is the profile's rate divided by the factor
+        (fault injection: thermal throttling, an oversubscribed core...).
+        """
         if flops < 0:
             raise ValueError(f"negative flop count {flops}")
-        return flops * self.profile.flop_time
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {slowdown}")
+        return flops * self.profile.flop_time * slowdown
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CostModel({self.profile.name}, p={self.size})"

@@ -14,9 +14,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.machine.clock import PhaseTimings
-from repro.machine.comm import Comm, CommStats
+from repro.machine.comm import Comm, CommStats, DeadlockError
 from repro.machine.costmodel import CostModel, MachineProfile
-from repro.machine.mailbox import Mailbox
+from repro.machine.faults import (
+    FaultInjector,
+    FaultPlan,
+    RankCrashedError,
+    ReliableConfig,
+)
+from repro.machine.mailbox import Mailbox, MailboxClosedError
 from repro.machine.profiles import ZERO_COST
 
 
@@ -82,6 +88,36 @@ class RunReport:
         mean = sum(times) / len(times)
         return max(times) / mean if mean > 0 else 1.0
 
+    # ------------------------------------------- fault / reliability totals
+    @property
+    def total_retransmissions(self) -> int:
+        return sum(r.stats.retransmissions for r in self.ranks)
+
+    @property
+    def total_drops_injected(self) -> int:
+        return sum(r.stats.drops_injected for r in self.ranks)
+
+    @property
+    def total_duplicates_suppressed(self) -> int:
+        return sum(r.stats.duplicates_suppressed for r in self.ranks)
+
+    @property
+    def total_messages_lost(self) -> int:
+        return sum(r.stats.messages_lost for r in self.ranks)
+
+    def fault_summary(self) -> dict[str, int]:
+        """Machine-wide fault/recovery counters (all zero when clean)."""
+        return {
+            "drops_injected": self.total_drops_injected,
+            "retransmissions": self.total_retransmissions,
+            "duplicates_injected": sum(r.stats.duplicates_injected
+                                       for r in self.ranks),
+            "duplicates_suppressed": self.total_duplicates_suppressed,
+            "delays_injected": sum(r.stats.delays_injected
+                                   for r in self.ranks),
+            "messages_lost": self.total_messages_lost,
+        }
+
 
 @dataclass
 class _RankState:
@@ -100,17 +136,35 @@ class Engine:
         Machine profile; defaults to the free :data:`ZERO_COST` machine.
     recv_timeout:
         Real-seconds watchdog for blocking receives; a deadlocked program
-        raises ``TimeoutError`` instead of hanging the test suite.
+        raises a structured :class:`~repro.machine.comm.DeadlockError`
+        instead of hanging the test suite.
+    fault_plan:
+        Optional :class:`~repro.machine.faults.FaultPlan` injecting
+        deterministic message drops/duplicates/delays, rank crashes and
+        rank slowdowns into the run.
+    reliable:
+        ``True`` (default parameters) or a
+        :class:`~repro.machine.faults.ReliableConfig` to enable the
+        ack/retransmit recovery layer; ``None``/``False`` leaves the
+        machine as lossy as the plan makes it.
     """
 
     def __init__(self, size: int, profile: MachineProfile = ZERO_COST,
-                 recv_timeout: float | None = 120.0):
+                 recv_timeout: float | None = 120.0,
+                 fault_plan: FaultPlan | None = None,
+                 reliable: ReliableConfig | bool | None = None):
         if size <= 0:
             raise ValueError(f"engine size must be positive, got {size}")
         self.size = size
         self.profile = profile
         self.cost = CostModel(profile, size)
         self.recv_timeout = recv_timeout
+        self.fault_plan = fault_plan
+        if reliable is True:
+            reliable = ReliableConfig()
+        elif reliable is False:
+            reliable = None
+        self.reliable = reliable
 
     def run(self, main: Callable[..., Any], *args: Any,
             rank_args: Sequence[Sequence[Any]] | None = None) -> RunReport:
@@ -124,9 +178,21 @@ class Engine:
                 f"rank_args must have {self.size} entries, got {len(rank_args)}"
             )
         mailboxes = [Mailbox(r) for r in range(self.size)]
+        injector = (FaultInjector(self.fault_plan, self.size)
+                    if self.fault_plan is not None else None)
+        waits: list = [None] * self.size
         comms = [Comm(r, self.size, self.cost, mailboxes,
-                      recv_timeout=self.recv_timeout)
+                      recv_timeout=self.recv_timeout,
+                      injector=injector, reliable=self.reliable,
+                      waits=waits)
                  for r in range(self.size)]
+        if injector is not None:
+            for r in range(self.size):
+                t = injector.crash_time(r)
+                if t is not None:
+                    comms[r].clock.set_deadline(
+                        t, lambda r=r, t=t: RankCrashedError(r, t)
+                    )
         states = [_RankState() for _ in range(self.size)]
 
         def runner(rank: int) -> None:
@@ -150,15 +216,29 @@ class Engine:
 
         errors = [(r, s.error) for r, s in enumerate(states) if s.error]
         if errors:
-            # Prefer the root cause: secondary "closed mailbox" failures are
-            # just other ranks being released after the first rank died.
+            # Prefer the root cause: secondary MailboxClosedError failures
+            # are just other ranks being released after the first rank
+            # died.  Planned crashes and deadlock reports keep their type
+            # so callers can drive recovery (checkpoint restart) from them.
             primary = [e for e in errors
-                       if "mailbox" not in str(e[1])]
+                       if not isinstance(e[1], MailboxClosedError)]
+            for selection in (primary, errors):
+                crashes = [e for e in selection
+                           if isinstance(e[1], RankCrashedError)]
+                if crashes:
+                    raise crashes[0][1]
+                if selection:
+                    break
             rank, err = (primary or errors)[0]
+            if isinstance(err, DeadlockError):
+                raise err
             raise RuntimeError(
                 f"virtual rank {rank} failed: {type(err).__name__}: {err}"
             ) from err
 
+        for r in range(self.size):
+            comms[r].stats.duplicates_suppressed = \
+                mailboxes[r].duplicates_suppressed
         return RunReport(ranks=[
             RankResult(rank=r, value=states[r].value,
                        time=comms[r].clock.now,

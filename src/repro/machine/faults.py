@@ -1,0 +1,269 @@
+"""Deterministic fault injection for the virtual machine.
+
+The paper's machines (nCUBE2, CM5) are modelled as perfectly reliable;
+this module lets a run declare, up front, exactly which imperfections the
+virtual network and processors should exhibit:
+
+* **message drop** — a transmission is charged to the sender but never
+  deposited in the destination mailbox;
+* **message duplication** — the network delivers a second copy of a
+  packet (no extra sender charge: duplication happens in flight);
+* **extra delay / jitter** — a deterministic extra latency is added to a
+  message's virtual arrival time;
+* **rank crash** — a rank's virtual clock trips a deadline and the rank
+  dies at virtual time ``T`` (:class:`RankCrashedError`);
+* **rank slowdown** — a rank's effective ``flops_per_second`` is divided
+  by a factor, as if the node were thermally throttled or oversubscribed.
+
+Every decision is a pure function of ``(plan.seed, src, dst, tag, n)``
+where ``n`` is a per-channel transmission counter kept by the *sender's*
+injector state.  Since each channel counter is touched only by its own
+sender thread, the decisions are bit-reproducible across runs regardless
+of real thread scheduling — the property all determinism tests pin.
+
+Reliable delivery (:class:`ReliableConfig`) is the recovery half: with it
+enabled, :meth:`Comm.send` retransmits dropped packets with exponential
+backoff (each retry costs a full channel charge, and the accumulated
+timeout waits push the message's virtual arrival time out), and the
+destination mailbox suppresses duplicate copies by transmission id.  A
+zero-fault run with the reliable layer enabled performs zero retries and
+therefore charges exactly the same virtual times as a run without it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from hashlib import blake2b
+from typing import Any
+
+
+class RankCrashedError(RuntimeError):
+    """A virtual rank died at its planned crash time."""
+
+    def __init__(self, rank: int, at_time: float):
+        self.rank = rank
+        self.at_time = at_time
+        super().__init__(
+            f"rank {rank} crashed at virtual time {at_time:.6f}s"
+        )
+
+
+class ReliableDeliveryError(RuntimeError):
+    """The retransmission budget was exhausted without a delivery."""
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Parameters of the ack/retransmit protocol (virtual-time units).
+
+    ``timeout`` is the virtual time the sender waits before the first
+    retransmission; each further retry multiplies it by ``backoff``.
+    The waits accumulate into the message's arrival time (the sender's
+    own clock is only charged the channel time of each transmission,
+    modelling interrupt-driven retransmit hardware).
+    """
+
+    timeout: float = 1e-3
+    backoff: float = 2.0
+    max_retries: int = 16
+
+    def __post_init__(self):
+        if self.timeout < 0:
+            raise ValueError("reliable timeout must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if self.max_retries < 1:
+            raise ValueError("need at least one retry")
+
+
+@dataclass
+class FaultPlan:
+    """Declarative, seeded description of every fault a run injects.
+
+    Parameters
+    ----------
+    seed:
+        Root of the decision hash; two runs with equal plans make
+        identical per-message decisions.
+    drop_rate, dup_rate, delay_rate:
+        Per-transmission probabilities (applied only to matching tags).
+    delay_seconds:
+        Extra latency added to a delayed message's virtual arrival; the
+        actual delay is jittered deterministically in
+        ``[0.5, 1.5) * delay_seconds``.
+    tags:
+        Restrict drop/dup/delay to these message tags (``None`` = all).
+    crash:
+        ``rank -> virtual time`` at which that rank dies.
+    slowdown:
+        ``rank -> factor >= 1`` dividing that rank's effective
+        ``flops_per_second``.
+    duplicate_first:
+        Optional ``(src, dst, tag)`` channel whose *first* transmission
+        is duplicated exactly once — the deterministic "one duplicated
+        message" scenario of the acceptance tests.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.0
+    tags: frozenset[int] | None = None
+    crash: dict[int, float] = field(default_factory=dict)
+    slowdown: dict[int, float] = field(default_factory=dict)
+    duplicate_first: tuple[int, int, int] | None = None
+
+    def __post_init__(self):
+        for name in ("drop_rate", "dup_rate", "delay_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {v}")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        if self.tags is not None:
+            self.tags = frozenset(int(t) for t in self.tags)
+        self.crash = {int(r): float(t) for r, t in self.crash.items()}
+        self.slowdown = {int(r): float(f)
+                         for r, f in self.slowdown.items()}
+        for r, t in self.crash.items():
+            if t < 0:
+                raise ValueError(f"crash time for rank {r} is negative")
+        for r, f in self.slowdown.items():
+            if f < 1.0:
+                raise ValueError(
+                    f"slowdown factor for rank {r} must be >= 1, got {f}"
+                )
+        if self.duplicate_first is not None:
+            self.duplicate_first = tuple(
+                int(x) for x in self.duplicate_first
+            )
+
+    # ------------------------------------------------------------- queries
+    @property
+    def any_message_faults(self) -> bool:
+        return (self.drop_rate > 0 or self.dup_rate > 0
+                or self.delay_rate > 0
+                or self.duplicate_first is not None)
+
+    def matches_tag(self, tag: int) -> bool:
+        return self.tags is None or tag in self.tags
+
+    def without_crash(self, rank: int) -> "FaultPlan":
+        """The plan after ``rank`` has been restarted (its crash spent)."""
+        remaining = {r: t for r, t in self.crash.items() if r != rank}
+        return replace(self, crash=remaining)
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "dup_rate": self.dup_rate,
+            "delay_rate": self.delay_rate,
+            "delay_seconds": self.delay_seconds,
+            "tags": sorted(self.tags) if self.tags is not None else None,
+            "crash": {str(r): t for r, t in self.crash.items()},
+            "slowdown": {str(r): f for r, f in self.slowdown.items()},
+            "duplicate_first": (list(self.duplicate_first)
+                                if self.duplicate_first else None),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FaultPlan":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+        kw = dict(d)
+        if kw.get("tags") is not None:
+            kw["tags"] = frozenset(kw["tags"])
+        if kw.get("duplicate_first") is not None:
+            kw["duplicate_first"] = tuple(kw["duplicate_first"])
+        return cls(**kw)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+
+@dataclass(frozen=True)
+class SendDecision:
+    """The injector's verdict on one transmission attempt."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_delay: float = 0.0
+
+
+_NO_FAULT = SendDecision()
+
+
+def _unit_hash(seed: int, salt: str, src: int, dst: int, tag: int,
+               n: int) -> float:
+    """Uniform deviate in [0, 1) from a stable hash of the decision key."""
+    key = f"{seed}:{salt}:{src}:{dst}:{tag}:{n}".encode()
+    h = blake2b(key, digest_size=8).digest()
+    return int.from_bytes(h, "big") / 2.0 ** 64
+
+
+class FaultInjector:
+    """Binds a :class:`FaultPlan` to one engine run.
+
+    Per-channel transmission counters live here; each ``(src, dst, tag)``
+    counter is only ever advanced by rank ``src``'s thread, so decision
+    sequences are deterministic under any real-time interleaving.
+    """
+
+    def __init__(self, plan: FaultPlan, size: int):
+        self.plan = plan
+        self.size = size
+        for r in list(plan.crash) + list(plan.slowdown):
+            if not 0 <= r < size:
+                raise ValueError(
+                    f"fault plan names rank {r}, machine has {size}"
+                )
+        self._counts: dict[tuple[int, int, int], int] = {}
+
+    def decide(self, src: int, dst: int, tag: int) -> SendDecision:
+        """Verdict for the next transmission on channel (src, dst, tag)."""
+        plan = self.plan
+        if not plan.any_message_faults:
+            return _NO_FAULT
+        key = (src, dst, tag)
+        n = self._counts.get(key, 0)
+        self._counts[key] = n + 1
+        if not plan.matches_tag(tag):
+            return _NO_FAULT
+        drop = (plan.drop_rate > 0 and
+                _unit_hash(plan.seed, "drop", src, dst, tag, n)
+                < plan.drop_rate)
+        dup = (plan.dup_rate > 0 and
+               _unit_hash(plan.seed, "dup", src, dst, tag, n)
+               < plan.dup_rate)
+        if plan.duplicate_first == (src, dst, tag) and n == 0:
+            dup = True
+        delay = 0.0
+        if (plan.delay_rate > 0 and plan.delay_seconds > 0 and
+                _unit_hash(plan.seed, "delay", src, dst, tag, n)
+                < plan.delay_rate):
+            jitter = _unit_hash(plan.seed, "jitter", src, dst, tag, n)
+            delay = plan.delay_seconds * (0.5 + jitter)
+        if not (drop or dup or delay):
+            return _NO_FAULT
+        return SendDecision(drop=drop, duplicate=dup, extra_delay=delay)
+
+    def crash_time(self, rank: int) -> float | None:
+        return self.plan.crash.get(rank)
+
+    def slowdown(self, rank: int) -> float:
+        return self.plan.slowdown.get(rank, 1.0)

@@ -20,6 +20,15 @@ ANY_TAG = -1
 _seq_counter = itertools.count()
 
 
+class MailboxClosedError(RuntimeError):
+    """Raised for any operation on a mailbox after engine teardown.
+
+    Typed (rather than a bare ``RuntimeError``) so the engine's root-cause
+    selection can distinguish the rank that *caused* a failure from the
+    ranks that merely got released by the subsequent mailbox close.
+    """
+
+
 @dataclass(order=True)
 class Message:
     """One in-flight message.
@@ -36,6 +45,10 @@ class Message:
     tag: int = field(compare=False, default=0)
     payload: Any = field(compare=False, default=None)
     nbytes: int = field(compare=False, default=0)
+    #: Reliable-delivery transmission id (src-local); duplicate copies of
+    #: one logical message share it so the destination mailbox can
+    #: suppress all but the first.  ``None`` outside the reliable layer.
+    xmit_id: int | None = field(compare=False, default=None)
 
 
 class Mailbox:
@@ -46,12 +59,43 @@ class Mailbox:
         self._messages: list[Message] = []
         self._cond = threading.Condition()
         self._closed = False
+        self._seen_xmits: set[tuple[int, int]] = set()
+        #: Duplicate copies discarded on deposit (reliable layer).
+        self.duplicates_suppressed = 0
 
     def put(self, msg: Message) -> None:
-        """Deposit a message (called from the sender's thread)."""
+        """Deposit a message (called from the sender's thread).
+
+        Messages carrying a reliable-delivery ``xmit_id`` are
+        deduplicated here: the network may deliver several copies of one
+        logical message, but only the first reaches the matching queues.
+        The receiver pays nothing for a suppressed copy (a header-only
+        discard); the sender already paid its channel charge.
+        """
         with self._cond:
             if self._closed:
-                raise RuntimeError(
+                raise MailboxClosedError(
+                    f"mailbox of rank {self.rank} is closed (engine shut down)"
+                )
+            if msg.xmit_id is not None:
+                key = (msg.src, msg.xmit_id)
+                if key in self._seen_xmits:
+                    self.duplicates_suppressed += 1
+                    return
+                self._seen_xmits.add(key)
+            self._messages.append(msg)
+            self._cond.notify_all()
+
+    def requeue(self, msg: Message) -> None:
+        """Re-deposit a message previously removed by :meth:`poll`.
+
+        Unlike :meth:`put`, this bypasses duplicate suppression — the
+        message already passed it on first deposit and would otherwise be
+        destroyed by its own ``xmit_id``.
+        """
+        with self._cond:
+            if self._closed:
+                raise MailboxClosedError(
                     f"mailbox of rank {self.rank} is closed (engine shut down)"
                 )
             self._messages.append(msg)
@@ -84,7 +128,7 @@ class Mailbox:
                 if i is not None:
                     return self._messages.pop(i)
                 if self._closed:
-                    raise RuntimeError(
+                    raise MailboxClosedError(
                         f"rank {self.rank}: receive on closed mailbox"
                     )
                 if not self._cond.wait(timeout=timeout):
@@ -107,6 +151,15 @@ class Mailbox:
     def pending_count(self) -> int:
         with self._cond:
             return len(self._messages)
+
+    def pending_summary(self) -> dict[tuple[int, int], int]:
+        """``(src, tag) -> count`` of queued messages (deadlock reports)."""
+        with self._cond:
+            out: dict[tuple[int, int], int] = {}
+            for m in self._messages:
+                key = (m.src, m.tag)
+                out[key] = out.get(key, 0) + 1
+            return out
 
     def close(self) -> None:
         """Wake all blocked receivers with an error (engine teardown)."""

@@ -1,0 +1,131 @@
+"""DPDA decomposition degenerate boundary cases.
+
+The Costzones boundary location assumes every load target ``i W / p``
+lands inside some rank's cumulative load range.  All-zero loads, loads
+concentrated on a single particle, and zero-load gaps all break that
+assumption and must fall through the padding path (missing boundaries
+collapse to the end of key space, leaving ranks with empty key ranges)
+without deadlocking or losing particles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bh.particles import ParticleSet
+from repro.core.config import SchemeConfig
+from repro.core.simulation import ParallelBarnesHut, _RankState
+from repro.machine.engine import Engine
+from repro.machine.profiles import ZERO_COST
+
+BITS = 6
+
+
+def _particles(n, seed=0, dims=3):
+    rng = np.random.default_rng(seed)
+    return ParticleSet(
+        positions=rng.random((n, dims)),
+        masses=np.ones(n),
+        velocities=np.zeros((n, dims)),
+    )
+
+
+def _decompose_with_loads(p, shards, loads_fn):
+    """Run one DPDA re-decomposition (step > 0) with crafted measured
+    loads and return each rank's (boundaries, n_local, n_cells)."""
+    cfg = SchemeConfig(scheme="dpda", alpha=0.7, degree=0, mode="potential")
+    root = ParticleSet.concatenate(
+        [s for s in shards if s.n]
+    ).bounding_box()
+
+    def main(comm, shard):
+        state = _RankState(comm, cfg, root, BITS, shard)
+        state.my_particle_loads = loads_fn(comm.rank, shard.n)
+        cells = state.decompose(1)
+        return (state.key_boundaries.tolist(), state.particles.n,
+                len(cells))
+
+    rep = Engine(p, ZERO_COST, recv_timeout=30.0).run(
+        main, rank_args=[(s,) for s in shards]
+    )
+    return rep.values
+
+
+class TestDegenerateLoads:
+    def test_all_zero_loads(self):
+        """W == 0: every boundary pads to the end of key space; all
+        particles collapse onto rank 0 and the others go empty."""
+        p, n = 4, 24
+        shards = [_particles(n // p, seed=r) for r in range(p)]
+        out = _decompose_with_loads(p, shards,
+                                    lambda r, m: np.zeros(m))
+        span = 1 << (3 * BITS)
+        for boundaries, _, _ in out:
+            assert boundaries == [span] * (p - 1)
+        counts = [n_local for _, n_local, _ in out]
+        assert counts[0] == n and counts[1:] == [0] * (p - 1)
+        # Empty key ranges produce empty cover-cell lists, not errors.
+        assert [c for _, _, c in out][1:] == [0] * (p - 1)
+
+    def test_boundary_target_in_zero_load_gap(self):
+        """One rank holds all the load: the other rank's cumulative range
+        is empty, so it reports no boundary and the single report from
+        the loaded rank still splits the key space."""
+        p = 2
+        shards = [_particles(10, seed=1), _particles(10, seed=2)]
+
+        def loads(rank, m):
+            return (np.linspace(1.0, 2.0, m) if rank == 0
+                    else np.zeros(m))
+
+        out = _decompose_with_loads(p, shards, loads)
+        assert all(len(b) == p - 1 for b, _, _ in out)
+        assert sum(n_local for _, n_local, _ in out) == 20
+
+    def test_single_heavy_particle_leaves_empty_ranks(self):
+        """All load on one particle: both targets resolve to the same
+        key, the middle rank gets an empty key range and zero cells."""
+        p = 3
+        shards = [_particles(8, seed=r + 3) for r in range(p)]
+
+        def loads(rank, m):
+            arr = np.zeros(m)
+            if rank == 0 and m:
+                arr[0] = 100.0
+            return arr
+
+        out = _decompose_with_loads(p, shards, loads)
+        boundaries = out[0][0]
+        assert boundaries[0] == boundaries[1]
+        counts = [n_local for _, n_local, _ in out]
+        assert sum(counts) == 24
+        assert 0 in counts[1:]
+
+    def test_more_ranks_than_particles_full_pipeline(self):
+        """p > n forces empty key ranges through the whole per-step
+        pipeline (tree build, merge, function shipping), twice."""
+        ps = _particles(3, seed=9)
+        cfg = SchemeConfig(scheme="dpda", alpha=0.7, degree=0,
+                           mode="potential")
+        sim = ParallelBarnesHut(ps, cfg, p=4, profile=ZERO_COST,
+                                bits=BITS, recv_timeout=60.0)
+        result = sim.run(steps=2)
+        assert np.all(np.isfinite(result.values))
+        assert sum(sr.n_local for sr in result.steps[-1]) == 3
+
+
+class TestMovedInCounter:
+    def test_moved_in_reports_balancing_exchange(self):
+        """The count must be taken before decompose() runs the exchange
+        (it used to always read 0)."""
+        ps = _particles(64, seed=4)
+        cfg = SchemeConfig(scheme="spsa", alpha=0.7, degree=0,
+                           mode="potential", grid_level=1)
+        sim = ParallelBarnesHut(ps, cfg, p=4, profile=ZERO_COST,
+                                bits=BITS, recv_timeout=60.0)
+        result = sim.run(steps=1)
+        moved = [sr.moved_in for sr in result.steps[0]]
+        # The Gray-code cluster placement differs from the host's
+        # Morton-contiguous deal, so some rank must gain or lose.
+        assert any(m != 0 for m in moved)
+        # Net gains and losses cancel machine-wide.
+        assert sum(moved) == 0

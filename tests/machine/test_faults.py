@@ -1,0 +1,268 @@
+"""Tests for deterministic fault injection and the reliable layer."""
+
+import pytest
+
+from repro.machine.comm import DeadlockError
+from repro.machine.costmodel import MachineProfile
+from repro.machine.engine import Engine
+from repro.machine.faults import (
+    FaultInjector,
+    FaultPlan,
+    RankCrashedError,
+    ReliableConfig,
+    ReliableDeliveryError,
+)
+from repro.machine.profiles import ZERO_COST
+
+TOY = MachineProfile(name="toy", topology_kind="hypercube",
+                     t_s=10.0, t_h=1.0, t_w=0.5, flops_per_second=1.0)
+
+
+class TestFaultPlan:
+    def test_defaults_are_fault_free(self):
+        plan = FaultPlan()
+        assert not plan.any_message_faults
+        assert plan.crash == {} and plan.slowdown == {}
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError, match="negative"):
+            FaultPlan(crash={0: -1.0})
+        with pytest.raises(ValueError, match="slowdown"):
+            FaultPlan(slowdown={0: 0.5})
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=42, drop_rate=0.1, dup_rate=0.05,
+                         delay_rate=0.2, delay_seconds=1e-3,
+                         tags={7001, 7002}, crash={2: 1.5},
+                         slowdown={0: 3.0},
+                         duplicate_first=(0, 1, 7001))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_dict({"drop_probability": 0.1})
+
+    def test_without_crash(self):
+        plan = FaultPlan(crash={0: 1.0, 1: 2.0})
+        left = plan.without_crash(0)
+        assert left.crash == {1: 2.0}
+        assert plan.crash == {0: 1.0, 1: 2.0}  # original untouched
+
+    def test_load_from_file(self, tmp_path):
+        p = tmp_path / "plan.json"
+        p.write_text(FaultPlan(seed=9, drop_rate=0.25).to_json())
+        assert FaultPlan.load(str(p)) == FaultPlan(seed=9, drop_rate=0.25)
+
+
+class TestInjectorDeterminism:
+    def test_same_plan_same_decisions(self):
+        plan = FaultPlan(seed=3, drop_rate=0.3, dup_rate=0.2,
+                         delay_rate=0.5, delay_seconds=1.0)
+        a = FaultInjector(plan, 4)
+        b = FaultInjector(plan, 4)
+        seq_a = [a.decide(0, 1, 5) for _ in range(50)]
+        seq_b = [b.decide(0, 1, 5) for _ in range(50)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultPlan(seed=1, drop_rate=0.5), 2)
+        b = FaultInjector(FaultPlan(seed=2, drop_rate=0.5), 2)
+        assert ([a.decide(0, 1, 0).drop for _ in range(64)]
+                != [b.decide(0, 1, 0).drop for _ in range(64)])
+
+    def test_tag_filter(self):
+        inj = FaultInjector(FaultPlan(drop_rate=1.0, tags={7}), 2)
+        assert not inj.decide(0, 1, 8).drop
+        assert inj.decide(0, 1, 7).drop
+
+    def test_unknown_rank_rejected(self):
+        with pytest.raises(ValueError, match="rank 9"):
+            FaultInjector(FaultPlan(crash={9: 1.0}), 4)
+
+
+class TestMessageFaults:
+    def test_drop_without_reliability_loses_message(self):
+        """A certain drop deadlocks the naive receiver — and the watchdog
+        turns that into a structured DeadlockError, not a hang."""
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(123, dst=1, tag=4)
+            else:
+                comm.recv(src=0, tag=4)
+
+        plan = FaultPlan(drop_rate=1.0)
+        with pytest.raises(DeadlockError):
+            Engine(2, ZERO_COST, recv_timeout=0.3,
+                   fault_plan=plan).run(main)
+
+    def test_reliable_layer_recovers_drops(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    comm.send(i, dst=1, tag=4)
+            else:
+                return [comm.recv(src=0, tag=4) for _ in range(20)]
+
+        plan = FaultPlan(seed=11, drop_rate=0.4)
+        rep = Engine(2, TOY, recv_timeout=30.0, fault_plan=plan,
+                     reliable=True).run(main)
+        assert rep.values[1] == list(range(20))
+        assert rep.total_drops_injected > 0
+        assert rep.total_retransmissions == rep.total_drops_injected
+        assert rep.total_messages_lost == 0
+
+    def test_retries_cost_virtual_time(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"xxxx", dst=1, tag=4)
+            else:
+                comm.recv(src=0, tag=4)
+            return comm.now
+
+        clean = Engine(2, TOY, fault_plan=FaultPlan(drop_rate=0.0),
+                       reliable=True).run(main)
+        # seed chosen so the first transmission drops and the retry lands
+        plan = FaultPlan(seed=1, drop_rate=0.5)
+        faulty = Engine(2, TOY, fault_plan=plan, reliable=True).run(main)
+        assert faulty.total_retransmissions > 0
+        assert faulty.values[0] > clean.values[0]  # extra channel charges
+        assert faulty.values[1] > clean.values[1]  # timeout pushed arrival
+
+    def test_retry_budget_exhaustion(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, dst=1, tag=4)
+            else:
+                comm.recv(src=0, tag=4)
+
+        plan = FaultPlan(drop_rate=1.0)
+        rel = ReliableConfig(timeout=1e-3, max_retries=3)
+        with pytest.raises(RuntimeError, match="undelivered"):
+            Engine(2, ZERO_COST, recv_timeout=10.0, fault_plan=plan,
+                   reliable=rel).run(main)
+
+    def test_duplicate_suppressed_under_reliability(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("only-once", dst=1, tag=9)
+                comm.send("second", dst=1, tag=9)
+            else:
+                a = comm.recv(src=0, tag=9)
+                b = comm.recv(src=0, tag=9)
+                return (a, b)
+
+        plan = FaultPlan(duplicate_first=(0, 1, 9))
+        rep = Engine(2, ZERO_COST, recv_timeout=10.0, fault_plan=plan,
+                     reliable=True).run(main)
+        assert rep.values[1] == ("only-once", "second")
+        assert rep.fault_summary()["duplicates_injected"] == 1
+        assert rep.total_duplicates_suppressed == 1
+
+    def test_duplicate_visible_without_reliability(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("dup", dst=1, tag=9)
+            else:
+                return (comm.recv(src=0, tag=9), comm.recv(src=0, tag=9))
+
+        plan = FaultPlan(duplicate_first=(0, 1, 9))
+        rep = Engine(2, ZERO_COST, recv_timeout=10.0,
+                     fault_plan=plan).run(main)
+        assert rep.values[1] == ("dup", "dup")
+
+    def test_delay_pushes_arrival(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, dst=1, tag=2)
+            else:
+                comm.recv(src=0, tag=2)
+                return comm.now
+
+        plan = FaultPlan(delay_rate=1.0, delay_seconds=50.0)
+        rep = Engine(2, ZERO_COST, recv_timeout=10.0,
+                     fault_plan=plan).run(main)
+        # jitter keeps the delay within [0.5, 1.5) * delay_seconds
+        assert 25.0 <= rep.values[1] < 75.0
+        assert rep.fault_summary()["delays_injected"] == 1
+
+
+class TestCrashAndSlowdown:
+    def test_crash_raises_typed_error(self):
+        def main(comm):
+            comm.compute(100.0)
+            comm.barrier()
+
+        with pytest.raises(RankCrashedError) as ei:
+            Engine(2, ZERO_COST, recv_timeout=10.0,
+                   fault_plan=FaultPlan(crash={0: 40.0})).run(main)
+        assert ei.value.rank == 0
+        assert ei.value.at_time == pytest.approx(40.0)
+
+    def test_crash_releases_other_ranks(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.compute(100.0)
+            comm.recv(src=0, tag=1)  # never sent: rank 1 must be released
+
+        with pytest.raises(RankCrashedError):
+            Engine(2, ZERO_COST, recv_timeout=30.0,
+                   fault_plan=FaultPlan(crash={0: 10.0})).run(main)
+
+    def test_slowdown_degrades_compute(self):
+        def main(comm):
+            comm.compute(100.0)
+            return comm.now
+
+        plan = FaultPlan(slowdown={1: 2.5})
+        rep = Engine(2, ZERO_COST, fault_plan=plan).run(main)
+        assert rep.values[0] == pytest.approx(100.0)
+        assert rep.values[1] == pytest.approx(250.0)
+
+    def test_effective_flops_reflects_slowdown(self):
+        def main(comm):
+            return comm.effective_flops_per_second()
+
+        rep = Engine(2, ZERO_COST,
+                     fault_plan=FaultPlan(slowdown={0: 4.0})).run(main)
+        assert rep.values == [0.25, 1.0]
+
+
+class TestZeroFaultNeutrality:
+    def test_reliable_layer_is_free_when_clean(self):
+        """Benchmark timings must be unchanged by the recovery machinery."""
+        def main(comm):
+            comm.compute(float(comm.rank) * 3.0)
+            comm.allgather(comm.rank)
+            comm.alltoall(list(range(comm.size)))
+            comm.barrier()
+            return comm.now
+
+        base = Engine(8, TOY).run(main)
+        guarded = Engine(8, TOY, fault_plan=FaultPlan(),
+                         reliable=True).run(main)
+        assert guarded.values == base.values
+        assert guarded.fault_summary() == {
+            k: 0 for k in guarded.fault_summary()
+        }
+
+    def test_fault_runs_reproducible(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, dst=1, tag=3)
+            else:
+                for _ in range(10):
+                    comm.recv(src=0, tag=3)
+            comm.barrier()
+            return comm.now
+
+        plan = FaultPlan(seed=5, drop_rate=0.3, delay_rate=0.2,
+                         delay_seconds=7.0)
+        reps = [Engine(2, TOY, recv_timeout=30.0, fault_plan=plan,
+                       reliable=True).run(main) for _ in range(3)]
+        assert (reps[0].values == reps[1].values == reps[2].values)
+        assert (reps[0].fault_summary() == reps[1].fault_summary()
+                == reps[2].fault_summary())
