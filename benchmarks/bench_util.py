@@ -8,9 +8,11 @@ is scaled, and every emitted table header repeats it).
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 
-from repro import make_instance, ParallelBarnesHut, SchemeConfig
+from repro import make_instance, ParallelBarnesHut, SchemeConfig, __version__
 from repro.analysis import (
     efficiency as _efficiency,
     serial_time_estimate,
@@ -88,3 +90,49 @@ def table(name: str, headers, rows, title: str, precision: int = 2) -> str:
     text = format_table(headers, rows, title=title, precision=precision)
     emit(name, text)
     return text
+
+
+# ------------------------------------------------- perf trajectory (JSON)
+def bench_entry(*, instance: str, scheme: str, p: int, result,
+                scale: float | None = None, **extra) -> dict:
+    """One machine-readable perf-trajectory record for a parallel run.
+
+    Captures the quantities every perf PR is judged on: the steady-state
+    virtual step time, the whole-run makespan, the force-phase load
+    imbalance, and communication volume.
+    """
+    entry = {
+        "instance": instance,
+        "scheme": scheme,
+        "p": p,
+        "n": int(sum(sr.n_local for sr in result.steps[0])),
+        "steps": len(result.steps),
+        "step_time": result.last_step_time,
+        "parallel_time": result.parallel_time,
+        "load_imbalance": result.load_imbalance(),
+        "total_messages": result.run.total_messages,
+        "total_bytes": result.run.total_bytes,
+    }
+    if scale is not None:
+        entry["scale"] = scale
+    entry.update(extra)
+    return entry
+
+
+def emit_bench_json(name: str, entries: list[dict]) -> str:
+    """Persist ``BENCH_<name>.json`` under benchmarks/results/.
+
+    The file is the repo's perf trajectory: a list of per-configuration
+    records plus enough provenance (version, python) to compare entries
+    across PRs.  Returns the written path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump({
+            "bench": name,
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "entries": entries,
+        }, fh, indent=2)
+    return path

@@ -9,7 +9,13 @@ Commands
 ``run``
     Run one parallel Barnes-Hut simulation and print the paper-style
     summary (virtual time, phase breakdown, accuracy vs direct summation
-    when feasible).
+    when feasible).  ``--trace-out`` / ``--metrics-out`` additionally
+    write a Chrome trace-event JSON (open it in https://ui.perfetto.dev)
+    and a metrics snapshot.
+``trace``
+    Run one traced simulation and print the observability report:
+    critical path (whole run and per step), phase waterfall, and the
+    src x dst traffic matrix; optionally write the trace file.
 
 Examples
 --------
@@ -18,11 +24,14 @@ Examples
     python -m repro instances
     python -m repro run --instance g_160535 --scale 0.01 --scheme dpda \\
         --procs 64 --machine cm5 --alpha 0.67 --degree 4 --mode potential
+    python -m repro trace --scheme dpda --procs 8 --steps 2 \\
+        --out trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -63,14 +72,9 @@ def _cmd_profiles(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    from repro import (
-        ParallelBarnesHut,
-        SchemeConfig,
-        direct_potentials,
-        fractional_percent_error,
-        make_instance,
-    )
+def _build_sim(args):
+    """Shared setup for ``run`` and ``trace``: instance, config, sim."""
+    from repro import ParallelBarnesHut, SchemeConfig, make_instance
     from repro.machine.faults import FaultPlan
     from repro.machine.profiles import get_profile
 
@@ -82,8 +86,34 @@ def _cmd_run(args) -> int:
         leaf_capacity=args.leaf_capacity,
     )
     profile = get_profile(args.machine)
-    fault_plan = (FaultPlan.load(args.fault_plan)
-                  if args.fault_plan else None)
+    fault_plan = (FaultPlan.load(getattr(args, "fault_plan", None))
+                  if getattr(args, "fault_plan", None) else None)
+    sim = ParallelBarnesHut(
+        particles, config, p=args.procs, profile=profile,
+        fault_plan=fault_plan,
+        reliable=getattr(args, "reliable", False),
+        checkpoint_every=getattr(args, "checkpoint_every", None),
+    )
+    return particles, profile, fault_plan, sim
+
+
+def _write_trace(result, path: str) -> None:
+    result.trace.write_chrome(path)
+    events = len(result.trace.to_chrome()["traceEvents"])
+    print(f"\ntrace written to {path} ({events} events; open in "
+          f"https://ui.perfetto.dev or chrome://tracing)")
+
+
+def _write_metrics(result, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(result.metrics_summary().snapshot(), fh, indent=2)
+    print(f"metrics written to {path}")
+
+
+def _cmd_run(args) -> int:
+    from repro import direct_potentials, fractional_percent_error
+
+    particles, profile, fault_plan, sim = _build_sim(args)
     print(f"{args.instance} (scale {args.scale}: {particles.n} particles) "
           f"| {args.scheme.upper()} on {profile.name} x{args.procs} "
           f"| alpha={args.alpha} degree={args.degree} mode={args.mode}")
@@ -97,11 +127,7 @@ def _cmd_run(args) -> int:
               + (f" | checkpoint every {args.checkpoint_every}"
                  if args.checkpoint_every else ""))
 
-    sim = ParallelBarnesHut(particles, config, p=args.procs,
-                            profile=profile, fault_plan=fault_plan,
-                            reliable=args.reliable,
-                            checkpoint_every=args.checkpoint_every)
-    result = sim.run(steps=args.steps)
+    result = sim.run(steps=args.steps, trace=bool(args.trace_out))
 
     print(f"\nvirtual parallel time   {result.parallel_time:10.3f} s")
     print(f"last-step time          {result.last_step_time:10.3f} s")
@@ -128,7 +154,75 @@ def _cmd_run(args) -> int:
         rel = np.linalg.norm(result.values - exact, axis=1) \
             / np.linalg.norm(exact, axis=1)
         print(f"median force rel error  {np.median(rel):10.2e}")
+
+    if args.trace_out:
+        _write_trace(result, args.trace_out)
+    if args.metrics_out:
+        _write_metrics(result, args.metrics_out)
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.analysis import (
+        critical_path,
+        format_bytes_matrix,
+        format_critical_path,
+        phase_waterfall,
+        step_critical_paths,
+    )
+
+    particles, profile, fault_plan, sim = _build_sim(args)
+    print(f"{args.instance} (scale {args.scale}: {particles.n} particles) "
+          f"| {args.scheme.upper()} on {profile.name} x{args.procs} "
+          f"| alpha={args.alpha} degree={args.degree} mode={args.mode} "
+          f"| {args.steps} step(s), traced")
+    result = sim.run(steps=args.steps, trace=True)
+    trace = result.trace
+
+    print(f"\nvirtual parallel time   {result.parallel_time:10.3f} s")
+    cp = critical_path(trace)
+    print("\n" + format_critical_path(cp, max_segments=args.max_segments))
+    if args.steps > 1:
+        print("\nper-step critical paths:")
+        for step, scp in step_critical_paths(trace).items():
+            kinds = scp.by_kind()
+            print(f"  step {step}: {scp.length:10.6f} s "
+                  f"({scp.hops()} hop(s); "
+                  f"compute {kinds.get('compute', 0.0):.6f}, "
+                  f"network {kinds.get('network', 0.0):.6f})")
+    print("\n" + phase_waterfall(trace, width=args.waterfall_width))
+    print("\n" + format_bytes_matrix(trace))
+
+    if args.out:
+        _write_trace(result, args.out)
+    if args.metrics_out:
+        _write_metrics(result, args.metrics_out)
+    return 0
+
+
+def _add_sim_args(cmd: argparse.ArgumentParser) -> None:
+    """Simulation options shared by ``run`` and ``trace``."""
+    cmd.add_argument("--instance", default="g_160535",
+                     help="named instance (see `instances`)")
+    cmd.add_argument("--scale", type=float, default=0.01,
+                     help="fraction of the paper's particle count")
+    cmd.add_argument("--seed", type=int, default=1994)
+    cmd.add_argument("--scheme", choices=("spsa", "spda", "dpda"),
+                     default="spda")
+    cmd.add_argument("--procs", type=int, default=16,
+                     help="virtual processor count")
+    cmd.add_argument("--machine", default="ncube2",
+                     help="ncube2 | cm5 | t3e | zero")
+    cmd.add_argument("--alpha", type=float, default=0.67)
+    cmd.add_argument("--degree", type=int, default=0,
+                     help="multipole degree (0 = monopole)")
+    cmd.add_argument("--mode", choices=("force", "potential"),
+                     default="force")
+    cmd.add_argument("--grid-level", type=int, default=3,
+                     help="static cluster grid level (r = 8^level in 3-D)")
+    cmd.add_argument("--leaf-capacity", type=int, default=16,
+                     help="the paper's s: max particles per leaf")
+    cmd.add_argument("--steps", type=int, default=1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,27 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("profiles", help="list virtual machine profiles")
 
     run = sub.add_parser("run", help="run one parallel simulation")
-    run.add_argument("--instance", default="g_160535",
-                     help="named instance (see `instances`)")
-    run.add_argument("--scale", type=float, default=0.01,
-                     help="fraction of the paper's particle count")
-    run.add_argument("--seed", type=int, default=1994)
-    run.add_argument("--scheme", choices=("spsa", "spda", "dpda"),
-                     default="spda")
-    run.add_argument("--procs", type=int, default=16,
-                     help="virtual processor count")
-    run.add_argument("--machine", default="ncube2",
-                     help="ncube2 | cm5 | t3e | zero")
-    run.add_argument("--alpha", type=float, default=0.67)
-    run.add_argument("--degree", type=int, default=0,
-                     help="multipole degree (0 = monopole)")
-    run.add_argument("--mode", choices=("force", "potential"),
-                     default="force")
-    run.add_argument("--grid-level", type=int, default=3,
-                     help="static cluster grid level (r = 8^level in 3-D)")
-    run.add_argument("--leaf-capacity", type=int, default=16,
-                     help="the paper's s: max particles per leaf")
-    run.add_argument("--steps", type=int, default=1)
+    _add_sim_args(run)
     run.add_argument("--check", action="store_true",
                      help="compare against O(n^2) direct summation")
     run.add_argument("--fault-plan", metavar="PATH",
@@ -174,6 +248,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--checkpoint-every", type=int, metavar="N",
                      help="checkpoint every N steps; recover rank "
                           "crashes by rollback instead of failing")
+    run.add_argument("--trace-out", metavar="PATH",
+                     help="write a Chrome trace-event JSON of the run "
+                          "(open in Perfetto / chrome://tracing)")
+    run.add_argument("--metrics-out", metavar="PATH",
+                     help="write the machine-wide metrics snapshot JSON")
+
+    trace = sub.add_parser(
+        "trace", help="run one traced simulation and print the "
+                      "critical path, waterfall and traffic matrix")
+    _add_sim_args(trace)
+    trace.add_argument("--out", metavar="PATH",
+                       help="write the Chrome trace-event JSON here")
+    trace.add_argument("--metrics-out", metavar="PATH",
+                       help="write the machine-wide metrics snapshot JSON")
+    trace.add_argument("--max-segments", type=int, default=30,
+                       help="chain segments to print")
+    trace.add_argument("--waterfall-width", type=int, default=72,
+                       help="time bins per waterfall row")
     return parser
 
 
@@ -185,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profiles(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

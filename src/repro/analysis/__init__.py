@@ -8,6 +8,10 @@
 * :mod:`~repro.analysis.kruskal_weiss` — the Section 4.1 load-imbalance
   bound and the r >= p log p cluster-count rule.
 * :mod:`~repro.analysis.tables` — paper-style text tables for benches.
+* :mod:`~repro.analysis.critical_path` — longest send/wait/compute chain
+  through a machine trace.
+* :mod:`~repro.analysis.trace_report` — src x dst traffic matrix and the
+  text phase waterfall.
 """
 
 from repro.analysis.flops import (
@@ -27,6 +31,18 @@ from repro.analysis.kruskal_weiss import (
     min_clusters,
 )
 from repro.analysis.tables import format_table
+from repro.analysis.critical_path import (
+    CriticalPath,
+    Segment,
+    critical_path,
+    format_critical_path,
+    step_critical_paths,
+)
+from repro.analysis.trace_report import (
+    bytes_matrix,
+    format_bytes_matrix,
+    phase_waterfall,
+)
 
 __all__ = [
     "FLOPS_PER_MAC",
@@ -41,4 +57,12 @@ __all__ = [
     "imbalance_overhead",
     "min_clusters",
     "format_table",
+    "CriticalPath",
+    "Segment",
+    "critical_path",
+    "format_critical_path",
+    "step_critical_paths",
+    "bytes_matrix",
+    "format_bytes_matrix",
+    "phase_waterfall",
 ]

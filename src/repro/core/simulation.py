@@ -54,7 +54,9 @@ from repro.machine.comm import Comm
 from repro.machine.costmodel import MachineProfile
 from repro.machine.engine import Engine, RunReport
 from repro.machine.faults import FaultPlan, RankCrashedError, ReliableConfig
+from repro.machine.metrics import MetricsRegistry
 from repro.machine.profiles import NCUBE2
+from repro.machine.trace import Trace, Tracer
 
 PHASE_SETUP = "setup"
 PHASE_BALANCE = "load balancing"
@@ -90,6 +92,15 @@ class SimulationResult:
     @property
     def parallel_time(self) -> float:
         return self.run.parallel_time
+
+    @property
+    def trace(self) -> Trace | None:
+        """Event trace of the (final) run, when traced."""
+        return self.run.trace
+
+    def metrics_summary(self) -> MetricsRegistry:
+        """Machine-wide merged metrics registry of the (final) run."""
+        return self.run.metrics_summary()
 
     def fault_summary(self) -> dict[str, int]:
         """Injected-fault / recovery counters of the (final) run."""
@@ -132,9 +143,13 @@ def _exchange(comm: Comm, particles: ParticleSet,
               owners: np.ndarray) -> ParticleSet:
     """All-to-all personalized particle movement to new owners."""
     outgoing = []
+    shipped = 0
     for dst in range(comm.size):
         idx = np.flatnonzero(owners == dst)
+        if dst != comm.rank:
+            shipped += idx.size
         outgoing.append(particles.subset(idx) if idx.size else None)
+    comm.metrics.counter("sim.particles_shipped").inc(shipped)
     comm.compute(BALANCE_FLOPS_PER_PARTICLE * particles.n)
     incoming = comm.alltoall(outgoing)
     non_empty = [ps for ps in incoming if ps is not None and ps.n]
@@ -377,6 +392,13 @@ def _rank_main(comm: Comm, config: SchemeConfig, root: Box, bits: int,
         sr = state.step(i, dt)
         sr.virtual_seconds = comm.now - t0
         results.append(sr)
+        comm.metrics.histogram("sim.step_seconds").observe(
+            sr.virtual_seconds)
+        if sr.moved_in > 0:
+            comm.metrics.counter("sim.particles_moved_in").inc(sr.moved_in)
+        if comm.tracer is not None:
+            comm.tracer.phase_span(comm.rank, f"step {i}", t0, comm.now,
+                                   depth=0, cat="step")
         if (store is not None and checkpoint_every
                 and (i + 1) % checkpoint_every == 0):
             store.save(state.snapshot(i + 1, results))
@@ -460,7 +482,12 @@ class ParallelBarnesHut:
         chunks = np.array_split(order, self.p)
         return [self.particles.subset(c) for c in chunks]
 
-    def run(self, steps: int = 1, dt: float | None = None) -> SimulationResult:
+    def run(self, steps: int = 1, dt: float | None = None,
+            trace: bool = False) -> SimulationResult:
+        """Run ``steps`` time-steps; with ``trace=True`` the result also
+        carries a :class:`~repro.machine.trace.Trace` of the (final) run
+        — tracing never charges any virtual clock, so traced and
+        untraced runs have bitwise-identical virtual times."""
         if steps < 1:
             raise ValueError("need at least one step")
         plan = self.fault_plan
@@ -474,10 +501,13 @@ class ParallelBarnesHut:
                             recv_timeout=self.recv_timeout,
                             fault_plan=plan, reliable=self.reliable)
             try:
+                # A fresh tracer per attempt: after a crash rollback the
+                # re-execution's trace replaces the aborted one.
                 report = engine.run(
                     _rank_main, self.config, self.root, self.bits, steps,
                     dt, self.checkpoint_every, store,
                     rank_args=rank_args,
+                    tracer=Tracer(self.p) if trace else None,
                 )
                 break
             except RankCrashedError as crash:

@@ -39,6 +39,19 @@ from repro.machine.faults import (
     ReliableDeliveryError,
 )
 from repro.machine.mailbox import MailboxClosedError
+from repro.machine.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.machine.trace import (
+    PhaseSpan,
+    RecvEvent,
+    SendEvent,
+    Trace,
+    Tracer,
+)
 
 __all__ = [
     "Topology",
@@ -67,4 +80,13 @@ __all__ = [
     "ReliableConfig",
     "ReliableDeliveryError",
     "MailboxClosedError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseSpan",
+    "RecvEvent",
+    "SendEvent",
+    "Trace",
+    "Tracer",
 ]

@@ -52,6 +52,9 @@ class VirtualClock:
         self._phase_stack: list[str] = []
         self._deadline: float | None = None
         self._deadline_exc: "Callable[[], BaseException] | None" = None
+        #: Optional span tracer (set by Comm); never charges the clock.
+        self._tracer = None
+        self._rank = 0
 
     def set_deadline(self, t: float, exc_factory) -> None:
         """Arm a one-shot deadline: the first charge that moves the clock
@@ -93,12 +96,24 @@ class VirtualClock:
 
     @contextmanager
     def phase(self, name: str):
-        """Attribute clock movement inside the block to phase ``name``."""
+        """Attribute clock movement inside the block to phase ``name``.
+
+        With a tracer attached, the block is also recorded as a
+        :class:`~repro.machine.trace.PhaseSpan` from the virtual time at
+        entry to the virtual time at exit (exceptional exits included,
+        so a crashed rank's last phase still shows in the trace).
+        """
         self._phase_stack.append(name)
+        tracer = self._tracer
+        t0 = self.now
+        depth = len(self._phase_stack)
         try:
             yield self
         finally:
             self._phase_stack.pop()
+            if tracer is not None:
+                tracer.phase_span(self._rank, name, t0, self.now,
+                                  depth=depth)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VirtualClock(now={self.now:.6f})"

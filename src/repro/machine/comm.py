@@ -30,6 +30,8 @@ from repro.machine.faults import (
     ReliableDeliveryError,
 )
 from repro.machine.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
+from repro.machine.metrics import BYTE_BUCKETS, MetricsRegistry
+from repro.machine.trace import RecvEvent, SendEvent, Tracer
 from repro.machine import collectives as _coll
 
 
@@ -114,6 +116,7 @@ class CommStats:
     messages_received: int = 0
     bytes_received: int = 0
     bytes_by_tag: dict[int, int] = field(default_factory=dict)
+    recv_bytes_by_tag: dict[int, int] = field(default_factory=dict)
     # Fault-injection / reliable-delivery counters (all zero on a
     # fault-free run, so existing accounting is unchanged).
     drops_injected: int = 0          # transmissions the network ate
@@ -128,9 +131,11 @@ class CommStats:
         self.bytes_sent += nbytes
         self.bytes_by_tag[tag] = self.bytes_by_tag.get(tag, 0) + nbytes
 
-    def record_recv(self, nbytes: int) -> None:
+    def record_recv(self, tag: int, nbytes: int) -> None:
         self.messages_received += 1
         self.bytes_received += nbytes
+        self.recv_bytes_by_tag[tag] = \
+            self.recv_bytes_by_tag.get(tag, 0) + nbytes
 
 
 class Comm:
@@ -143,7 +148,8 @@ class Comm:
                  mailboxes: list[Mailbox], recv_timeout: float | None = 120.0,
                  injector: FaultInjector | None = None,
                  reliable: ReliableConfig | None = None,
-                 waits: list | None = None):
+                 waits: list | None = None,
+                 tracer: Tracer | None = None):
         if not 0 <= rank < size:
             raise ValueError(f"rank {rank} out of range for size {size}")
         self.rank = rank
@@ -151,6 +157,14 @@ class Comm:
         self.cost = cost
         self.clock = VirtualClock()
         self.stats = CommStats()
+        self.tracer = tracer
+        self.clock._tracer = tracer
+        self.clock._rank = rank
+        #: Per-rank metrics registry (merged machine-wide by the engine).
+        self.metrics = MetricsRegistry()
+        self._m_msg_bytes = self.metrics.histogram(
+            "comm.msg_bytes", bounds=BYTE_BUCKETS)
+        self._m_wait = self.metrics.histogram("comm.recv_wait_seconds")
         self._mailboxes = mailboxes
         self._recv_timeout = recv_timeout
         self._injector = injector
@@ -204,40 +218,63 @@ class Comm:
         if nbytes is None:
             nbytes = estimate_nbytes(payload)
         p = self.cost.profile
+        tracer = self.tracer
+        self._m_msg_bytes.observe(nbytes)
         if dst == self.rank:
             # Local delivery is free and never faulted.
             self.stats.record_send(tag, nbytes)
-            self._mailboxes[dst].put(
-                Message(arrival=self.clock.now, src=self.rank, tag=tag,
-                        payload=payload, nbytes=nbytes)
-            )
+            msg = Message(arrival=self.clock.now, src=self.rank, tag=tag,
+                          payload=payload, nbytes=nbytes)
+            self._mailboxes[dst].put(msg)
+            if tracer is not None:
+                tracer.send_event(SendEvent(
+                    seq=msg.seq, src=self.rank, dst=dst, tag=tag,
+                    nbytes=nbytes, t_begin=self.clock.now,
+                    t_end=self.clock.now, arrival=msg.arrival,
+                ))
             return
         hops = self.cost.topology.hops(self.rank, dst)
         inj = self._injector
+        t_begin = self.clock.now
         if inj is None:
             self.clock.advance(p.t_s + nbytes * p.t_w)
             self.stats.record_send(tag, nbytes)
-            self._mailboxes[dst].put(
-                Message(arrival=self.clock.now + hops * p.t_h,
-                        src=self.rank, tag=tag,
-                        payload=payload, nbytes=nbytes)
-            )
+            msg = Message(arrival=self.clock.now + hops * p.t_h,
+                          src=self.rank, tag=tag,
+                          payload=payload, nbytes=nbytes)
+            self._mailboxes[dst].put(msg)
+            if tracer is not None:
+                tracer.send_event(SendEvent(
+                    seq=msg.seq, src=self.rank, dst=dst, tag=tag,
+                    nbytes=nbytes, t_begin=t_begin,
+                    t_end=self.clock.now, arrival=msg.arrival,
+                ))
             return
 
         rel = self._reliable
         penalty = 0.0      # timeout waits accumulated by retransmissions
         retries = 0
+        drops = 0
         while True:
             decision = inj.decide(self.rank, dst, tag)
             self.clock.advance(p.t_s + nbytes * p.t_w)
             if not decision.drop:
                 break
+            drops += 1
             self.stats.drops_injected += 1
+            self.metrics.counter("comm.drops").inc()
             if rel is None:
                 # Unreliable machine: the message is silently lost (the
                 # sender still paid for the transmission).
                 self.stats.messages_lost += 1
                 self.stats.record_send(tag, nbytes)
+                if tracer is not None:
+                    tracer.send_event(SendEvent(
+                        seq=None, src=self.rank, dst=dst, tag=tag,
+                        nbytes=nbytes, t_begin=t_begin,
+                        t_end=self.clock.now, arrival=float("inf"),
+                        drops=drops, lost=True,
+                    ))
                 return
             if retries >= rel.max_retries:
                 raise ReliableDeliveryError(
@@ -247,6 +284,7 @@ class Comm:
             penalty += rel.timeout * rel.backoff ** retries
             retries += 1
             self.stats.retransmissions += 1
+            self.metrics.counter("comm.retransmissions").inc()
         if decision.extra_delay > 0:
             self.stats.delays_injected += 1
         self.stats.record_send(tag, nbytes)
@@ -256,19 +294,30 @@ class Comm:
             self._xmit_seq += 1
         arrival = (self.clock.now + hops * p.t_h
                    + penalty + decision.extra_delay)
-        self._mailboxes[dst].put(
-            Message(arrival=arrival, src=self.rank, tag=tag,
-                    payload=payload, nbytes=nbytes, xmit_id=xmit_id)
-        )
+        msg = Message(arrival=arrival, src=self.rank, tag=tag,
+                      payload=payload, nbytes=nbytes, xmit_id=xmit_id)
+        self._mailboxes[dst].put(msg)
+        if tracer is not None:
+            tracer.send_event(SendEvent(
+                seq=msg.seq, src=self.rank, dst=dst, tag=tag,
+                nbytes=nbytes, t_begin=t_begin, t_end=self.clock.now,
+                arrival=arrival, drops=drops, retries=retries,
+                extra_delay=decision.extra_delay,
+            ))
         if decision.duplicate:
             # The network delivered a second copy in flight: no extra
             # sender charge; same transmission id, so a reliable receiver
             # suppresses it (an unreliable one sees it twice).
             self.stats.duplicates_injected += 1
-            self._mailboxes[dst].put(
-                Message(arrival=arrival, src=self.rank, tag=tag,
-                        payload=payload, nbytes=nbytes, xmit_id=xmit_id)
-            )
+            dup = Message(arrival=arrival, src=self.rank, tag=tag,
+                          payload=payload, nbytes=nbytes, xmit_id=xmit_id)
+            self._mailboxes[dst].put(dup)
+            if tracer is not None:
+                tracer.send_event(SendEvent(
+                    seq=dup.seq, src=self.rank, dst=dst, tag=tag,
+                    nbytes=nbytes, t_begin=t_begin, t_end=self.clock.now,
+                    arrival=arrival, duplicate=True,
+                ))
 
     # ``isend`` is an alias: the buffered send above never blocks in real
     # time, and its virtual charge models an eager-protocol send.
@@ -370,10 +419,18 @@ class Comm:
         self._finish_recv(msg)
 
     def _finish_recv(self, msg: Message) -> None:
+        t_begin = self.clock.now
         self.clock.wait_until(msg.arrival)
         if msg.src != self.rank:
             self.clock.advance(msg.nbytes * self.cost.profile.t_w)
-        self.stats.record_recv(msg.nbytes)
+        self.stats.record_recv(msg.tag, msg.nbytes)
+        self._m_wait.observe(max(0.0, msg.arrival - t_begin))
+        if self.tracer is not None:
+            self.tracer.recv_event(RecvEvent(
+                seq=msg.seq, rank=self.rank, src=msg.src, tag=msg.tag,
+                nbytes=msg.nbytes, t_begin=t_begin, arrival=msg.arrival,
+                t_end=self.clock.now, waited=msg.arrival > t_begin,
+            ))
 
     # ------------------------------------------------------- collectives
     def barrier(self) -> None:

@@ -23,7 +23,9 @@ from repro.machine.faults import (
     ReliableConfig,
 )
 from repro.machine.mailbox import Mailbox, MailboxClosedError
+from repro.machine.metrics import MetricsRegistry
 from repro.machine.profiles import ZERO_COST
+from repro.machine.trace import Trace, Tracer
 
 
 @dataclass
@@ -35,6 +37,7 @@ class RankResult:
     time: float
     timings: PhaseTimings
     stats: CommStats
+    metrics: MetricsRegistry | None = None
 
 
 @dataclass
@@ -42,6 +45,8 @@ class RunReport:
     """Aggregate of one SPMD run."""
 
     ranks: list[RankResult]
+    #: Structured event record when the engine ran with a tracer.
+    trace: Trace | None = None
 
     @property
     def size(self) -> int:
@@ -78,6 +83,13 @@ class RunReport:
     @property
     def total_bytes(self) -> int:
         return sum(r.stats.bytes_sent for r in self.ranks)
+
+    def metrics_summary(self) -> MetricsRegistry:
+        """Machine-wide metrics: per-rank registries merged (counters and
+        histograms summed, gauges max-merged)."""
+        return MetricsRegistry.merged(
+            [r.metrics for r in self.ranks if r.metrics is not None]
+        )
 
     def load_imbalance(self, phase: str | None = None) -> float:
         """max/mean virtual time ratio (1.0 = perfectly balanced)."""
@@ -167,15 +179,28 @@ class Engine:
         self.reliable = reliable
 
     def run(self, main: Callable[..., Any], *args: Any,
-            rank_args: Sequence[Sequence[Any]] | None = None) -> RunReport:
+            rank_args: Sequence[Sequence[Any]] | None = None,
+            tracer: Tracer | bool | None = None) -> RunReport:
         """Execute ``main(comm, *args)`` on every rank.
 
         ``rank_args`` optionally provides per-rank extra positional
-        arguments appended after the shared ``args``.
+        arguments appended after the shared ``args``.  ``tracer`` attaches
+        a span tracer (``True`` creates one sized to the engine); the
+        finished :class:`~repro.machine.trace.Trace` lands on the report.
+        Tracing never charges any virtual clock, so traced and untraced
+        runs have bitwise-identical virtual times.
         """
         if rank_args is not None and len(rank_args) != self.size:
             raise ValueError(
                 f"rank_args must have {self.size} entries, got {len(rank_args)}"
+            )
+        if tracer is True:
+            tracer = Tracer(self.size)
+        elif tracer is False:
+            tracer = None
+        if tracer is not None and tracer.size != self.size:
+            raise ValueError(
+                f"tracer sized for {tracer.size} ranks, engine has {self.size}"
             )
         mailboxes = [Mailbox(r) for r in range(self.size)]
         injector = (FaultInjector(self.fault_plan, self.size)
@@ -184,7 +209,7 @@ class Engine:
         comms = [Comm(r, self.size, self.cost, mailboxes,
                       recv_timeout=self.recv_timeout,
                       injector=injector, reliable=self.reliable,
-                      waits=waits)
+                      waits=waits, tracer=tracer)
                  for r in range(self.size)]
         if injector is not None:
             for r in range(self.size):
@@ -239,10 +264,17 @@ class Engine:
         for r in range(self.size):
             comms[r].stats.duplicates_suppressed = \
                 mailboxes[r].duplicates_suppressed
+            comms[r].metrics.gauge("mailbox.max_pending").set(
+                mailboxes[r].max_pending)
+        trace = None
+        if tracer is not None:
+            tracer.final_times = [c.clock.now for c in comms]
+            trace = tracer.finish()
         return RunReport(ranks=[
             RankResult(rank=r, value=states[r].value,
                        time=comms[r].clock.now,
                        timings=comms[r].clock.timings,
-                       stats=comms[r].stats)
+                       stats=comms[r].stats,
+                       metrics=comms[r].metrics)
             for r in range(self.size)
-        ])
+        ], trace=trace)

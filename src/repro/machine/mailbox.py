@@ -62,6 +62,8 @@ class Mailbox:
         self._seen_xmits: set[tuple[int, int]] = set()
         #: Duplicate copies discarded on deposit (reliable layer).
         self.duplicates_suppressed = 0
+        #: Queue-depth high-water mark (surfaced as a metrics gauge).
+        self.max_pending = 0
 
     def put(self, msg: Message) -> None:
         """Deposit a message (called from the sender's thread).
@@ -84,6 +86,8 @@ class Mailbox:
                     return
                 self._seen_xmits.add(key)
             self._messages.append(msg)
+            if len(self._messages) > self.max_pending:
+                self.max_pending = len(self._messages)
             self._cond.notify_all()
 
     def requeue(self, msg: Message) -> None:
@@ -99,6 +103,8 @@ class Mailbox:
                     f"mailbox of rank {self.rank} is closed (engine shut down)"
                 )
             self._messages.append(msg)
+            if len(self._messages) > self.max_pending:
+                self.max_pending = len(self._messages)
             self._cond.notify_all()
 
     def _match_index(self, src: int, tag: int) -> int | None:

@@ -221,3 +221,38 @@ class TestValidation:
     def test_cm5_profile_runs(self):
         res = run(p=4, profile=CM5)
         assert res.parallel_time > 0
+
+
+class TestStepTimeEdgeCases:
+    """step_time / last_step_time on degenerate runs (satellite of the
+    observability PR)."""
+
+    def test_single_rank_single_step(self):
+        res = run(p=1, steps=1)
+        assert res.step_time(0) > 0
+        assert res.last_step_time == res.step_time(0)
+        # With one rank there is no straggler: the step IS the run.
+        assert res.step_time(0) == pytest.approx(res.parallel_time)
+
+    def test_out_of_range_step_raises(self):
+        res = run(p=2, steps=1)
+        with pytest.raises(IndexError):
+            res.step_time(5)
+
+    def test_step_time_is_max_over_ranks(self):
+        res = run(p=4, profile=NCUBE2, steps=2, mode="force", dt=1e-6,
+                  softening=0.01)
+        for s in range(2):
+            per_rank = [sr.virtual_seconds for sr in res.steps[s]]
+            assert res.step_time(s) == max(per_rank)
+
+    def test_step_seconds_metric_matches_step_times(self):
+        """The sim.step_seconds histogram aggregates exactly the same
+        per-rank step spans the StepResults carry."""
+        res = run(p=4, profile=NCUBE2, steps=3, mode="force", dt=1e-6,
+                  softening=0.01)
+        h = res.metrics_summary().histogram("sim.step_seconds")
+        assert h.count == 4 * 3
+        total = sum(sr.virtual_seconds
+                    for step in res.steps for sr in step)
+        assert h.total == pytest.approx(total)

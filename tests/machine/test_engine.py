@@ -124,3 +124,56 @@ class TestDeterminism:
 
         runs = [Engine(16, NCUBE2).run(main).values for _ in range(3)]
         assert runs[0] == runs[1] == runs[2]
+
+
+class TestReportEdgeCases:
+    """phase_mean / load_imbalance on degenerate reports (satellite of
+    the observability PR): missing phases, single ranks, zero-time
+    phases must all come back well-defined, never raise."""
+
+    def test_phase_mean_missing_on_some_ranks(self):
+        """A phase only some ranks enter still averages over ALL ranks —
+        absent ranks contribute zero, they are not skipped."""
+        def main(comm):
+            if comm.rank == 0:
+                with comm.phase("solo"):
+                    comm.compute(8.0)
+
+        rep = Engine(4, TOY).run(main)
+        assert rep.phase_mean()["solo"] == pytest.approx(2.0)
+
+    def test_phase_mean_unknown_phase_absent(self):
+        rep = Engine(2, TOY).run(lambda comm: comm.compute(1.0))
+        assert "no such phase" not in rep.phase_mean()
+
+    def test_load_imbalance_missing_phase_is_balanced(self):
+        """Asking about a phase nobody recorded: every rank reports 0,
+        the mean is 0, and the ratio degrades gracefully to 1.0."""
+        rep = Engine(4, TOY).run(lambda comm: comm.compute(1.0))
+        assert rep.load_imbalance("does not exist") == 1.0
+
+    def test_single_rank_never_imbalanced(self):
+        rep = Engine(1, TOY).run(lambda comm: comm.compute(37.0))
+        assert rep.load_imbalance() == 1.0
+        assert rep.phase_mean()["other"] == pytest.approx(37.0)
+
+    def test_zero_time_phase(self):
+        """A phase entered but charged nothing (all ranks): ratio 1.0."""
+        def main(comm):
+            with comm.phase("empty"):
+                pass
+            comm.compute(1.0)
+
+        rep = Engine(4, TOY).run(main)
+        assert rep.load_imbalance("empty") == 1.0
+        assert rep.phase_mean().get("empty", 0.0) == 0.0
+
+    def test_partial_phase_imbalance_ratio(self):
+        """One rank works 4 s in a phase the rest skip: max/mean = 4."""
+        def main(comm):
+            if comm.rank == 0:
+                with comm.phase("lopsided"):
+                    comm.compute(4.0)
+
+        rep = Engine(4, TOY).run(main)
+        assert rep.load_imbalance("lopsided") == pytest.approx(4.0)

@@ -1,0 +1,136 @@
+"""Tests for the metrics registry and its machine-layer wiring."""
+
+import pytest
+
+from repro.machine.costmodel import MachineProfile
+from repro.machine.engine import Engine
+from repro.machine.metrics import (
+    BYTE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+TOY = MachineProfile(name="toy", topology_kind="hypercube",
+                     t_s=10.0, t_h=1.0, t_w=0.5, flops_per_second=1.0)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_high_water(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.0)
+        assert g.value == 1.0
+        assert g.high_water == 3.0
+
+    def test_histogram_buckets_and_moments(self):
+        h = Histogram(bounds=(1.0, 10.0, 100.0))
+        for x in (0.5, 5.0, 50.0, 500.0):
+            h.observe(x)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.mean == pytest.approx(138.875)
+        assert h.min == 0.5 and h.max == 500.0
+
+    def test_histogram_boundary_goes_to_lower_bucket(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_histogram_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_snapshot_shapes(self):
+        c, g, h = Counter(), Gauge(), Histogram(bounds=(1.0,))
+        c.inc(2)
+        g.set(7)
+        h.observe(0.5)
+        assert c.snapshot() == {"type": "counter", "value": 2}
+        assert g.snapshot()["high_water"] == 7
+        snap = h.snapshot()
+        assert snap["count"] == 1 and snap["buckets"] == [
+            {"le": 1.0, "count": 1}]
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert "a" in reg and "b" not in reg
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.gauge("g").set(5)
+        b.gauge("g").set(3)
+        b.counter("only_b").inc(7)
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.histogram("h", bounds=(1.0,)).observe(2.0)
+        m = MetricsRegistry.merged([a, b])
+        assert m.counter("c").value == 3          # counters sum
+        assert m.gauge("g").value == 5            # gauges take the max
+        assert m.counter("only_b").value == 7
+        assert m.histogram("h", bounds=(1.0,)).count == 2
+
+    def test_merge_mismatched_histograms_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0,))
+        b.histogram("h", bounds=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+
+class TestMachineWiring:
+    def _report(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 32, dst=1, tag=2)
+            elif comm.rank == 1:
+                comm.recv(src=0, tag=2)
+            return comm.now
+
+        return Engine(2, TOY).run(main)
+
+    def test_message_size_histogram(self):
+        rep = self._report()
+        h = rep.ranks[0].metrics.histogram("comm.msg_bytes",
+                                           bounds=BYTE_BUCKETS)
+        assert h.count == 1 and h.total == 32.0
+
+    def test_wait_histogram_on_receiver(self):
+        rep = self._report()
+        h = rep.ranks[1].metrics.histogram("comm.recv_wait_seconds")
+        assert h.count == 1
+        # Receiver idles from 0 until arrival at t_s + 32 t_w + t_h = 27.
+        assert h.total == pytest.approx(27.0)
+
+    def test_mailbox_high_water_gauge(self):
+        rep = self._report()
+        g = rep.ranks[1].metrics.gauge("mailbox.max_pending")
+        assert g.value == 1
+
+    def test_report_merges_ranks(self):
+        rep = self._report()
+        merged = rep.metrics_summary()
+        assert merged.histogram("comm.msg_bytes",
+                                bounds=BYTE_BUCKETS).count == 1
+        snap = merged.snapshot()
+        assert "comm.recv_wait_seconds" in snap
+        assert snap["comm.msg_bytes"]["sum"] == 32.0

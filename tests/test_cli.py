@@ -53,3 +53,52 @@ class TestCommands:
         ])
         assert code == 0
         assert "fractional % error" in capsys.readouterr().out
+
+
+class TestTraceCLI:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scheme == "spda"
+        assert args.out is None
+
+    def test_run_accepts_trace_flags(self, tmp_path):
+        args = build_parser().parse_args([
+            "run", "--trace-out", str(tmp_path / "t.json"),
+            "--metrics-out", str(tmp_path / "m.json"),
+        ])
+        assert args.trace_out.endswith("t.json")
+
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+        tpath = tmp_path / "trace.json"
+        mpath = tmp_path / "metrics.json"
+        code = main([
+            "run", "--instance", "g_5000", "--scale", "0.05",
+            "--scheme", "dpda", "--procs", "4", "--machine", "ncube2",
+            "--steps", "1", "--trace-out", str(tpath),
+            "--metrics-out", str(mpath),
+        ])
+        assert code == 0
+        doc = json.loads(tpath.read_text())
+        assert doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} >= {"X", "s", "f"}
+        metrics = json.loads(mpath.read_text())
+        assert "comm.msg_bytes" in metrics
+        out = capsys.readouterr().out
+        assert "trace" in out and "metrics" in out
+
+    def test_trace_command_report(self, tmp_path, capsys):
+        import json
+        tpath = tmp_path / "trace.json"
+        code = main([
+            "trace", "--instance", "g_5000", "--scale", "0.05",
+            "--scheme", "dpda", "--procs", "4", "--machine", "ncube2",
+            "--steps", "2", "--out", str(tpath),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "bytes matrix" in out or "src\\dst" in out
+        assert "legend:" in out
+        doc = json.loads(tpath.read_text())
+        assert doc["otherData"]["ranks"] == 4
