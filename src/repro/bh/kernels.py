@@ -14,17 +14,26 @@ import numpy as np
 #: Gravitational constant in simulation units (G = 1, the n-body custom).
 G = 1.0
 
+#: Default bound on the pair kernels' (chunk, ns, d) temporaries, bytes.
+DEFAULT_WORKING_SET_BYTES = 16 * 2 ** 20
 
-def pair_potential(targets: np.ndarray, sources: np.ndarray,
-                   source_masses: np.ndarray,
-                   softening: float = 0.0) -> np.ndarray:
-    """Potential at each target from every source: shape (ntargets,).
 
-    Coincident target/source pairs contribute nothing (they are the
-    self-interaction case; the softened kernel also makes them finite).
+def _target_chunk(nt: int, ns: int, d: int,
+                  working_set_bytes: int | None) -> int:
+    """Targets per chunk so live temporaries stay inside the working set.
+
+    The widest pass holds the (chunk, ns, d) difference tensor plus a
+    few (chunk, ns) scalars — about ``(d + 3)`` float64 per pair.
     """
-    t = np.atleast_2d(targets)
-    s = np.atleast_2d(sources)
+    ws = (DEFAULT_WORKING_SET_BYTES if working_set_bytes is None
+          else int(working_set_bytes))
+    row_bytes = max(1, ns) * 8 * (d + 3)
+    return max(1, ws // row_bytes)
+
+
+def _pair_potential_block(t: np.ndarray, s: np.ndarray,
+                          source_masses: np.ndarray,
+                          softening: float) -> np.ndarray:
     diff = t[:, None, :] - s[None, :, :]                    # (nt, ns, d)
     r2 = np.einsum("ijk,ijk->ij", diff, diff) + softening ** 2
     with np.errstate(divide="ignore"):
@@ -33,12 +42,9 @@ def pair_potential(targets: np.ndarray, sources: np.ndarray,
     return -G * inv_r @ source_masses
 
 
-def pair_force(targets: np.ndarray, sources: np.ndarray,
-               source_masses: np.ndarray,
-               softening: float = 0.0) -> np.ndarray:
-    """Acceleration at each target from every source: shape (nt, d)."""
-    t = np.atleast_2d(targets)
-    s = np.atleast_2d(sources)
+def _pair_force_block(t: np.ndarray, s: np.ndarray,
+                      source_masses: np.ndarray,
+                      softening: float) -> np.ndarray:
     diff = t[:, None, :] - s[None, :, :]
     r2 = np.einsum("ijk,ijk->ij", diff, diff) + softening ** 2
     with np.errstate(divide="ignore"):
@@ -46,6 +52,54 @@ def pair_force(targets: np.ndarray, sources: np.ndarray,
     inv_r3[r2 == 0.0] = 0.0
     w = source_masses[None, :] * inv_r3                     # (nt, ns)
     return -G * np.einsum("ij,ijk->ik", w, diff)
+
+
+def pair_potential(targets: np.ndarray, sources: np.ndarray,
+                   source_masses: np.ndarray,
+                   softening: float = 0.0,
+                   working_set_bytes: int | None = None) -> np.ndarray:
+    """Potential at each target from every source: shape (ntargets,).
+
+    Coincident target/source pairs contribute nothing (they are the
+    self-interaction case; the softened kernel also makes them finite).
+    Targets are processed in chunks so peak temporary memory is bounded
+    by ``working_set_bytes`` (default 16 MB) instead of O(nt·ns·d);
+    each target row is computed with identical arithmetic either way.
+    """
+    t = np.atleast_2d(targets)
+    s = np.atleast_2d(sources)
+    nt, ns = t.shape[0], s.shape[0]
+    chunk = _target_chunk(nt, ns, t.shape[1], working_set_bytes)
+    if nt <= chunk:
+        return _pair_potential_block(t, s, source_masses, softening)
+    out = np.empty(nt)
+    for lo in range(0, nt, chunk):
+        hi = min(lo + chunk, nt)
+        out[lo:hi] = _pair_potential_block(t[lo:hi], s, source_masses,
+                                           softening)
+    return out
+
+
+def pair_force(targets: np.ndarray, sources: np.ndarray,
+               source_masses: np.ndarray,
+               softening: float = 0.0,
+               working_set_bytes: int | None = None) -> np.ndarray:
+    """Acceleration at each target from every source: shape (nt, d).
+
+    Chunked over targets like :func:`pair_potential`.
+    """
+    t = np.atleast_2d(targets)
+    s = np.atleast_2d(sources)
+    nt, ns = t.shape[0], s.shape[0]
+    chunk = _target_chunk(nt, ns, t.shape[1], working_set_bytes)
+    if nt <= chunk:
+        return _pair_force_block(t, s, source_masses, softening)
+    out = np.empty((nt, t.shape[1]))
+    for lo in range(0, nt, chunk):
+        hi = min(lo + chunk, nt)
+        out[lo:hi] = _pair_force_block(t[lo:hi], s, source_masses,
+                                       softening)
+    return out
 
 
 def point_mass_potential(targets: np.ndarray, center: np.ndarray,

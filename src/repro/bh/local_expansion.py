@@ -152,13 +152,22 @@ def p2l(rel_positions: np.ndarray, charges: np.ndarray,
     return out
 
 
-def l2p(coeffs: np.ndarray, rel_targets: np.ndarray,
-        degree: int) -> np.ndarray:
-    """Evaluate a local expansion at targets relative to its center."""
-    R = regular_terms(np.atleast_2d(rel_targets), degree)
-    out = np.zeros(R.shape[0], dtype=np.complex128)
+@lru_cache(maxsize=16)
+def _l2p_conj_map(degree: int) -> np.ndarray:
+    """Column permutation pairing L_j^k with regular term (j, -k)."""
+    idx = np.empty(n_terms(degree), dtype=np.int64)
     for j in range(degree + 1):
         for k in range(-j, j + 1):
-            # r^j Y_j^k = regular_terms column (j, -k)
-            out += coeffs[term_index(j, k)] * R[:, term_index(j, -k)]
-    return out.real
+            idx[term_index(j, k)] = term_index(j, -k)
+    return idx
+
+
+def l2p(coeffs: np.ndarray, rel_targets: np.ndarray,
+        degree: int) -> np.ndarray:
+    """Evaluate a local expansion at targets relative to its center.
+
+    One matrix-vector contraction over all terms: r^j Y_j^k is the
+    regular_terms column (j, -k), selected by the cached permutation.
+    """
+    R = regular_terms(np.atleast_2d(rel_targets), degree)
+    return (R[:, _l2p_conj_map(degree)] @ coeffs).real

@@ -297,6 +297,37 @@ class MonopoleExpansion:
             softening=self.softening,
         )
 
+    # Fused cluster interface for the interaction-list engine: one
+    # gathered monopole evaluation over all accepted (node, target)
+    # pairs, row-for-row the same arithmetic as the per-node kernels.
+    @property
+    def batch_row_bytes(self) -> int:
+        return 8 * (6 * self.tree.dims + 8)
+
+    def batch_potential(self, nodes: np.ndarray,
+                        targets: np.ndarray) -> np.ndarray:
+        diff = targets - self.tree.com[nodes]
+        r2 = np.einsum("ij,ij->i", diff, diff) + self.softening ** 2
+        with np.errstate(divide="ignore"):
+            inv_r = 1.0 / np.sqrt(r2)
+        inv_r[r2 == 0.0] = 0.0
+        return -kernels.G * self.tree.mass[nodes] * inv_r
+
+    def batch_force(self, nodes: np.ndarray,
+                    targets: np.ndarray) -> np.ndarray:
+        diff = targets - self.tree.com[nodes]
+        r2 = np.einsum("ij,ij->i", diff, diff) + self.softening ** 2
+        zero = r2 == 0.0
+        np.sqrt(r2, out=r2)
+        with np.errstate(divide="ignore"):
+            np.divide(1.0, r2, out=r2)                 # inv_r
+        r2[zero] = 0.0
+        inv_r3 = r2 * r2
+        inv_r3 *= r2
+        w = self.tree.mass[nodes] * inv_r3
+        w *= -kernels.G
+        return w[:, None] * diff
+
 
 class TreeMultipoles:
     """Per-node spherical-harmonic expansions for a whole tree.
@@ -349,3 +380,27 @@ class TreeMultipoles:
         return kernels.point_mass_force(
             targets, self.tree.com[node], float(self.tree.mass[node])
         )
+
+    # Fused cluster interface: the multipole series of every accepted
+    # (node, target) pair evaluated in one gather/einsum.
+    @property
+    def batch_row_bytes(self) -> int:
+        # dominated by the (pairs, nterms) complex irregular-term and
+        # gathered-coefficient blocks
+        return 16 * self.expansion.nterms * 4 + 8 * 6 * self.tree.dims
+
+    def batch_potential(self, nodes: np.ndarray,
+                        targets: np.ndarray) -> np.ndarray:
+        rel = targets - self.tree.center[nodes]
+        I = irregular_terms(rel, self.degree)
+        return -kernels.G * np.einsum("ij,ij->i", I,
+                                      self.coeffs[nodes]).real
+
+    def batch_force(self, nodes: np.ndarray,
+                    targets: np.ndarray) -> np.ndarray:
+        diff = targets - self.tree.com[nodes]
+        r2 = np.einsum("ij,ij->i", diff, diff)
+        with np.errstate(divide="ignore"):
+            inv_r3 = r2 ** -1.5
+        inv_r3[r2 == 0.0] = 0.0
+        return -kernels.G * (self.tree.mass[nodes] * inv_r3)[:, None] * diff

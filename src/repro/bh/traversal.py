@@ -12,54 +12,37 @@ Remote leaves (placeholders for subtrees owned by other virtual
 processors) never contribute locally; the traversal returns, per remote
 node, the indices of the targets that need shipping — which the parallel
 engine turns into bins.
+
+Since the interaction-list engine (:mod:`repro.bh.interaction_lists`),
+:func:`traverse` runs in two phases: a list-building walk and a fused
+evaluation pass.  The counters, remote-target sets, per-node interaction
+counts and per-target weights are identical to the classical single-pass
+loop, which is preserved here as :func:`traverse_reference` — the
+cross-check oracle and the "before" side of the perf-regression bench.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.bh import kernels
+from repro.bh.interaction_lists import (
+    TraversalResult,
+    build_interaction_lists,
+    evaluate_interaction_lists,
+)
 from repro.bh.mac import BarnesHutMAC
 from repro.bh.multipole import MonopoleExpansion, TreeMultipoles
 from repro.bh.particles import ParticleSet
 from repro.bh.tree import NO_CHILD, Tree
 
-
-@dataclass
-class TraversalResult:
-    """Output of one batched traversal.
-
-    ``values`` holds potentials (n,) or forces (n, d) aligned with the
-    target array.  The counters feed the paper's instruction-count cost
-    model; ``remote_targets`` maps a remote-leaf node id to the indices
-    of targets whose interaction must be shipped to the owner.
-    """
-
-    values: np.ndarray
-    mac_tests: int = 0
-    cluster_interactions: int = 0
-    p2p_interactions: int = 0
-    remote_targets: dict[int, np.ndarray] = field(default_factory=dict)
-
-    def flops(self, degree: int) -> float:
-        """Virtual flop count per the paper's model (Section 5.2):
-        ``13 + 16 k^2`` per particle-cluster interaction, 14 per MAC.
-        Monopole (degree 0) interactions and leaf particle-particle
-        interactions are charged as the k = 1 case."""
-        per_cluster = 13.0 + 16.0 * max(degree, 1) ** 2
-        per_p2p = 13.0 + 16.0
-        return (14.0 * self.mac_tests
-                + per_cluster * self.cluster_interactions
-                + per_p2p * self.p2p_interactions)
-
-    def merge_counters(self, other: "TraversalResult") -> None:
-        """Fold another traversal's work counters into this one (values
-        are left alone — callers combine those explicitly)."""
-        self.mac_tests += other.mac_tests
-        self.cluster_interactions += other.cluster_interactions
-        self.p2p_interactions += other.p2p_interactions
+__all__ = [
+    "TraversalResult",
+    "traverse",
+    "traverse_reference",
+    "compute_forces",
+    "compute_potentials",
+]
 
 
 def traverse(tree: Tree, sources: ParticleSet | None,
@@ -68,7 +51,8 @@ def traverse(tree: Tree, sources: ParticleSet | None,
              count_node_interactions: bool = False,
              softening: float = 0.0,
              root: int | None = None,
-             target_weights: np.ndarray | None = None) -> TraversalResult:
+             target_weights: np.ndarray | None = None,
+             working_set_bytes: int | None = None) -> TraversalResult:
     """Batched Barnes-Hut traversal from ``root`` (default: tree root).
 
     Parameters
@@ -80,7 +64,9 @@ def traverse(tree: Tree, sources: ParticleSet | None,
     evaluator:
         Object with ``node_potential(node, targets)`` and
         ``node_force(node, targets)`` — :class:`MonopoleExpansion` or
-        :class:`TreeMultipoles`.
+        :class:`TreeMultipoles`.  Evaluators additionally exposing
+        ``batch_potential(nodes, targets)`` / ``batch_force`` get the
+        fused cluster kernel.
     mode:
         ``"potential"`` or ``"force"``.
     count_node_interactions:
@@ -91,7 +77,31 @@ def traverse(tree: Tree, sources: ParticleSet | None,
         traversal cost in model flops is added to it.  The load balancers
         use this to attribute *requester-side* work (top-tree walking)
         to the particles that caused it.
+    working_set_bytes:
+        Bound on the fused kernels' temporary arrays (default 16 MB).
     """
+    if mode not in ("potential", "force"):
+        raise ValueError(f"mode must be 'potential' or 'force', got {mode!r}")
+    lists = build_interaction_lists(tree, target_positions, mac, root=root)
+    return evaluate_interaction_lists(
+        tree, lists, sources, evaluator, mode=mode, softening=softening,
+        count_node_interactions=count_node_interactions,
+        target_weights=target_weights,
+        working_set_bytes=working_set_bytes,
+    )
+
+
+def traverse_reference(tree: Tree, sources: ParticleSet | None,
+                       target_positions: np.ndarray, mac: BarnesHutMAC,
+                       evaluator, mode: str = "potential",
+                       count_node_interactions: bool = False,
+                       softening: float = 0.0,
+                       root: int | None = None,
+                       target_weights: np.ndarray | None = None
+                       ) -> TraversalResult:
+    """The classical single-pass traversal (kernels evaluated in walk
+    order).  Kept as the correctness oracle for the interaction-list
+    engine and as the baseline of ``bench_traversal_engine``."""
     if mode not in ("potential", "force"):
         raise ValueError(f"mode must be 'potential' or 'force', got {mode!r}")
     targets = np.atleast_2d(np.asarray(target_positions, dtype=np.float64))
@@ -164,13 +174,23 @@ def traverse(tree: Tree, sources: ParticleSet | None,
 
 def compute_forces(particles: ParticleSet, alpha: float = 0.67,
                    leaf_capacity: int = 8, softening: float = 0.0,
-                   tree: Tree | None = None) -> TraversalResult:
-    """Serial Barnes-Hut forces on all particles (monopole, Section 5.1)."""
-    if tree is None:
+                   tree: Tree | None = None,
+                   engine=None) -> TraversalResult:
+    """Serial Barnes-Hut forces on all particles (monopole, Section 5.1).
+
+    Pass a :class:`~repro.bh.interaction_lists.TraversalEngine` bound to
+    the same tree to reuse a previous walk over the same targets (e.g.
+    after :func:`compute_potentials` on the same particle set).
+    """
+    if engine is not None:
+        tree = engine.tree
+    elif tree is None:
         from repro.bh.tree import build_tree
         tree = build_tree(particles, leaf_capacity=leaf_capacity)
-    mac = BarnesHutMAC(alpha)
     evaluator = MonopoleExpansion(tree, softening=softening)
+    if engine is not None:
+        return engine.compute(particles.positions, evaluator, mode="force")
+    mac = BarnesHutMAC(alpha)
     return traverse(tree, particles, particles.positions, mac, evaluator,
                     mode="force", softening=softening)
 
@@ -178,19 +198,27 @@ def compute_forces(particles: ParticleSet, alpha: float = 0.67,
 def compute_potentials(particles: ParticleSet, alpha: float = 0.67,
                        degree: int = 0, leaf_capacity: int = 8,
                        softening: float = 0.0,
-                       tree: Tree | None = None) -> TraversalResult:
+                       tree: Tree | None = None,
+                       engine=None) -> TraversalResult:
     """Serial Barnes-Hut potentials on all particles.
 
     ``degree = 0`` uses monopoles; ``degree >= 1`` uses spherical-harmonic
-    multipole expansions of that degree (Section 5.2).
+    multipole expansions of that degree (Section 5.2).  A
+    :class:`~repro.bh.interaction_lists.TraversalEngine` passed as
+    ``engine`` shares one walk across modes and degrees.
     """
-    if tree is None:
+    if engine is not None:
+        tree = engine.tree
+    elif tree is None:
         from repro.bh.tree import build_tree
         tree = build_tree(particles, leaf_capacity=leaf_capacity)
-    mac = BarnesHutMAC(alpha)
     if degree == 0:
         evaluator = MonopoleExpansion(tree, softening=softening)
     else:
         evaluator = TreeMultipoles(tree, particles, degree)
+    if engine is not None:
+        return engine.compute(particles.positions, evaluator,
+                              mode="potential")
+    mac = BarnesHutMAC(alpha)
     return traverse(tree, particles, particles.positions, mac, evaluator,
                     mode="potential", softening=softening)

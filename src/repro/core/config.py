@@ -44,6 +44,12 @@ class SchemeConfig:
         studies).
     max_depth:
         Tree refinement limit; ``None`` = Morton key limit.
+    working_set_bytes:
+        Bound on the fused evaluation kernels' live temporaries (the
+        interaction-list engine's chunk size).  ``None`` uses the
+        engine default (cache-resident chunks); the value affects speed
+        and peak memory only — results stay within the engine's 1e-12
+        contract and the interaction counters are unchanged.
     """
 
     scheme: str = "spda"
@@ -57,6 +63,7 @@ class SchemeConfig:
     branch_lookup: str = "hashed"
     softening: float = 0.0
     max_depth: int | None = None
+    working_set_bytes: int | None = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -85,6 +92,8 @@ class SchemeConfig:
             raise ValueError(f"branch_lookup must be one of {LOOKUP_KINDS}")
         if self.softening < 0:
             raise ValueError("softening must be >= 0")
+        if self.working_set_bytes is not None and self.working_set_bytes < 4096:
+            raise ValueError("working_set_bytes must be >= 4096 (or None)")
 
     def clusters(self, dims: int) -> int:
         """Number of static clusters r for the given dimensionality."""

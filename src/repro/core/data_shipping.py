@@ -26,8 +26,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bh import kernels
+from repro.bh.interaction_lists import DEFAULT_WORKING_SET_BYTES, \
+    _accumulate
 from repro.bh.mac import BarnesHutMAC
-from repro.bh.multipole import MultipoleExpansion3D
+from repro.bh.multipole import MultipoleExpansion3D, irregular_terms
 from repro.bh.particles import Box, ParticleSet
 from repro.bh.tree import NO_CHILD
 from repro.core.branch_nodes import branch_key
@@ -215,22 +217,122 @@ class DataShippingEngine:
             self.cache.put(cn)
 
     # ------------------------------------------------------- evaluation
-    def _node_value(self, cn: CachedNode, targets: np.ndarray) -> np.ndarray:
-        if self.config.mode == "force" or cn.coeffs is None:
-            fn = (kernels.point_mass_potential
-                  if self.config.mode == "potential"
-                  else kernels.point_mass_force)
-            return fn(targets, cn.com, cn.mass,
-                      softening=self.config.softening)
-        exp = MultipoleExpansion3D(self.config.degree)
-        rel = targets - cn.center
-        return -kernels.G * exp.evaluate(cn.coeffs, rel)
+    @property
+    def _working_set(self) -> int:
+        ws = self.config.working_set_bytes
+        return DEFAULT_WORKING_SET_BYTES if ws is None else ws
 
-    def _leaf_value(self, cn: CachedNode, targets: np.ndarray) -> np.ndarray:
-        fn = (kernels.pair_potential if self.config.mode == "potential"
-              else kernels.pair_force)
-        return fn(targets, cn.positions, cn.masses,
-                  softening=self.config.softening)
+    def _eval_far(self, values: np.ndarray, targets: np.ndarray,
+                  nodes: list[CachedNode],
+                  idx_lists: list[np.ndarray]) -> None:
+        """Fused far-field pass over the collected (node, targets) pairs.
+
+        Monopole interactions (force mode, or nodes without expansions)
+        run as one chunked point-mass kernel over flat per-pair arrays;
+        expansion interactions run as one chunked irregular-terms
+        contraction.  Same arithmetic per pair as the per-node kernels.
+        """
+        mode = self.config.mode
+        soft2 = self.config.softening ** 2
+        nt = values.shape[0]
+        d = self._dims
+        mono = [i for i, cn in enumerate(nodes)
+                if mode == "force" or cn.coeffs is None]
+        multi = [i for i, cn in enumerate(nodes)
+                 if not (mode == "force" or cn.coeffs is None)]
+
+        if mono:
+            sizes = np.array([idx_lists[i].size for i in mono])
+            tgt = np.concatenate([idx_lists[i] for i in mono])
+            com = np.repeat(np.stack([nodes[i].com for i in mono]),
+                            sizes, axis=0)
+            mass = np.repeat(np.array([nodes[i].mass for i in mono]),
+                             sizes)
+            chunk = max(1, self._working_set // (8 * (3 * d + 6)))
+            for lo in range(0, tgt.size, chunk):
+                hi = min(lo + chunk, tgt.size)
+                tg = tgt[lo:hi]
+                diff = targets[tg] - com[lo:hi]
+                r2 = np.einsum("ij,ij->i", diff, diff) + soft2
+                zero = r2 == 0.0
+                np.sqrt(r2, out=r2)
+                with np.errstate(divide="ignore"):
+                    np.divide(1.0, r2, out=r2)              # inv_r
+                r2[zero] = 0.0
+                if mode == "potential":
+                    contrib = r2
+                    contrib *= mass[lo:hi]
+                    contrib *= -kernels.G
+                else:
+                    inv_r3 = r2 * r2
+                    inv_r3 *= r2
+                    inv_r3 *= mass[lo:hi]
+                    inv_r3 *= -kernels.G
+                    contrib = inv_r3[:, None] * diff
+                _accumulate(values, tg, contrib, nt)
+
+        if multi:
+            exp = MultipoleExpansion3D(self.config.degree)
+            sizes = np.array([idx_lists[i].size for i in multi])
+            tgt = np.concatenate([idx_lists[i] for i in multi])
+            center = np.repeat(np.stack([nodes[i].center for i in multi]),
+                               sizes, axis=0)
+            coeffs = np.repeat(np.stack([nodes[i].coeffs for i in multi]),
+                               sizes, axis=0)
+            chunk = max(1, self._working_set
+                        // (16 * exp.nterms * 4 + 8 * 3 * d))
+            for lo in range(0, tgt.size, chunk):
+                hi = min(lo + chunk, tgt.size)
+                tg = tgt[lo:hi]
+                rel = targets[tg] - center[lo:hi]
+                I = irregular_terms(rel, exp.degree)
+                contrib = -kernels.G * np.einsum(
+                    "ij,ij->i", I, coeffs[lo:hi]).real
+                _accumulate(values, tg, contrib, nt)
+
+    def _eval_leaves(self, values: np.ndarray, targets: np.ndarray,
+                     nodes: list[CachedNode],
+                     idx_lists: list[np.ndarray]) -> None:
+        """Fused particle-particle pass over fetched leaf payloads.
+
+        Leaf visits are grouped by particle count so each group runs as
+        one chunked (pairs, ns, d) kernel — the same shape as the
+        interaction-list engine's P2P pass.
+        """
+        mode = self.config.mode
+        soft2 = self.config.softening ** 2
+        nt = values.shape[0]
+        d = self._dims
+        ns_arr = np.array([cn.positions.shape[0] for cn in nodes])
+        for ns in np.unique(ns_arr):
+            which = np.flatnonzero(ns_arr == ns)
+            ns = int(ns)
+            sp = np.stack([nodes[i].positions for i in which])
+            sm = np.stack([nodes[i].masses for i in which])
+            sizes = np.array([idx_lists[i].size for i in which])
+            rows = np.repeat(np.arange(which.size), sizes)
+            tgt = np.concatenate([idx_lists[i] for i in which])
+            row_bytes = 8 * (2 * ns * d + 4 * ns + 2 * d + 4)
+            chunk = max(1, self._working_set // row_bytes)
+            for lo in range(0, tgt.size, chunk):
+                hi = min(lo + chunk, tgt.size)
+                r, tg = rows[lo:hi], tgt[lo:hi]
+                diff = targets[tg][:, None, :] - sp[r]      # (c, ns, d)
+                r2 = np.einsum("ijk,ijk->ij", diff, diff) + soft2
+                zero = r2 == 0.0
+                np.sqrt(r2, out=r2)
+                with np.errstate(divide="ignore"):
+                    np.divide(1.0, r2, out=r2)              # inv_r
+                r2[zero] = 0.0
+                if mode == "potential":
+                    contrib = np.einsum("ij,ij->i", r2, sm[r])
+                else:
+                    w = r2 * r2
+                    w *= r2
+                    w *= sm[r]
+                    contrib = np.einsum("ij,ijk->ik", w, diff)
+                contrib *= -kernels.G
+                _accumulate(values, tg, contrib, nt)
 
     def _traverse_round(self, values: np.ndarray,
                         done_pairs: set[tuple[int, int]]
@@ -241,6 +343,11 @@ class DataShippingEngine:
         memoizes (key, target-block) work already accumulated in earlier
         rounds so contributions are never double counted; traversal
         restarts from the root each round but skips finished branches.
+
+        The walk itself only *collects* interactions; the kernels run
+        afterwards as fused, chunked passes (:meth:`_eval_far`,
+        :meth:`_eval_leaves`), mirroring the two-phase interaction-list
+        engine of :mod:`repro.bh.interaction_lists`.
         """
         targets = self.particles.positions
         misses: dict[int, set[int]] = {}
@@ -250,6 +357,10 @@ class DataShippingEngine:
         ]
         degree = self.config.degree
         flops = 0.0
+        far_nodes: list[CachedNode] = []
+        far_idx: list[np.ndarray] = []
+        leaf_nodes: list[CachedNode] = []
+        leaf_idx: list[np.ndarray] = []
         while stack:
             key, idx, owner_hint = stack.pop()
             cn = self.cache.get(key)
@@ -280,7 +391,8 @@ class DataShippingEngine:
                 pair_key = (key, int(far[0]))
                 if pair_key not in done_pairs:
                     done_pairs.add(pair_key)
-                    values[far] += self._node_value(cn, targets[far])
+                    far_nodes.append(cn)
+                    far_idx.append(far)
                     flops += (13.0 + 16.0 * max(degree, 1) ** 2) * far.size
             if near.size == 0:
                 continue
@@ -289,7 +401,8 @@ class DataShippingEngine:
                 leaf_key = (key, -1 - int(near[0]))
                 if leaf_key not in done_pairs:
                     done_pairs.add(leaf_key)
-                    values[near] += self._leaf_value(cn, targets[near])
+                    leaf_nodes.append(cn)
+                    leaf_idx.append(near)
                     flops += 29.0 * near.size * cn.positions.shape[0]
                 continue
             if not cn.children_known:
@@ -297,6 +410,10 @@ class DataShippingEngine:
                 continue
             for ck in cn.child_keys:
                 stack.append((ck, near, cn.owner))
+        if far_nodes:
+            self._eval_far(values, targets, far_nodes, far_idx)
+        if leaf_nodes:
+            self._eval_leaves(values, targets, leaf_nodes, leaf_idx)
         self.comm.compute(flops)
         return misses
 

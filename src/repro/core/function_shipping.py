@@ -24,10 +24,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.bh.interaction_lists import TraversalEngine
 from repro.bh.mac import BarnesHutMAC
 from repro.bh.multipole import MonopoleExpansion
 from repro.bh.particles import ParticleSet
-from repro.bh.traversal import TraversalResult, traverse
+from repro.bh.traversal import TraversalResult
 from repro.core.bins import BinManager, RequestBin, ShipStats
 from repro.core.config import SchemeConfig
 from repro.core.tree_build import LocalSubtree
@@ -51,6 +52,8 @@ class ForceResult:
     records_shipped: int = 0
     records_served: int = 0
     ship: ShipStats = field(default_factory=ShipStats)
+    walks_built: int = 0        # interaction-list walks performed
+    walks_reused: int = 0       # evaluations served from cached lists
 
 
 class FunctionShippingEngine:
@@ -66,6 +69,30 @@ class FunctionShippingEngine:
         self.subtree_by_key = {st.key: st for st in subtrees}
         self._mode = config.mode
         self._degree = config.degree
+        # Build-once/evaluate-many: one engine per tree this rank walks.
+        # A target batch seen twice against the same tree (e.g. the same
+        # bin of coordinates requesting both phases, or a re-run over an
+        # unchanged tree) reuses the cached interaction lists.
+        ws = config.working_set_bytes
+        self._top_engine = TraversalEngine(
+            top.tree, None, self.mac, softening=config.softening,
+            working_set_bytes=ws,
+        )
+        self._subtree_engines = {
+            st.key: TraversalEngine(
+                st.tree, st.particles, self.mac,
+                softening=config.softening, working_set_bytes=ws,
+            )
+            for st in subtrees
+        }
+
+    def _walk_counts(self) -> tuple[int, int]:
+        built = self._top_engine.walks_built
+        reused = self._top_engine.walks_reused
+        for eng in self._subtree_engines.values():
+            built += eng.walks_built
+            reused += eng.walks_reused
+        return built, reused
 
     # ----------------------------------------------------------- evaluators
     def _local_evaluator(self, st: LocalSubtree):
@@ -98,11 +125,9 @@ class FunctionShippingEngine:
         for key in np.unique(bin_.keys):
             st = self._lookup_subtree(int(key))
             sel = np.flatnonzero(bin_.keys == key)
-            res = traverse(
-                st.tree, st.particles, bin_.coords[sel], self.mac,
-                self._local_evaluator(st), mode=self._mode,
-                count_node_interactions=True,
-                softening=self.config.softening,
+            res = self._subtree_engines[int(key)].compute(
+                bin_.coords[sel], self._local_evaluator(st),
+                mode=self._mode, count_node_interactions=True,
             )
             if res.remote_targets:
                 raise RuntimeError("local subtree contains remote leaves")
@@ -138,10 +163,8 @@ class FunctionShippingEngine:
 
         with comm.phase(PHASE_FORCE):
             if n:
-                top_res = traverse(
-                    self.top.tree, None, self.particles.positions, self.mac,
-                    self.top, mode=self._mode,
-                    softening=cfg.softening,
+                top_res = self._top_engine.compute(
+                    self.particles.positions, self.top, mode=self._mode,
                     target_weights=self.requester_flops,
                 )
                 values += top_res.values
@@ -160,12 +183,10 @@ class FunctionShippingEngine:
                     key = int(self.top.tree.remote_key[node])
                     if owner == comm.rank:
                         st = self._lookup_subtree(key)
-                        res = traverse(
-                            st.tree, st.particles,
-                            self.particles.positions[idx], self.mac,
+                        res = self._subtree_engines[key].compute(
+                            self.particles.positions[idx],
                             self._local_evaluator(st), mode=self._mode,
                             count_node_interactions=True,
-                            softening=cfg.softening,
                         )
                         values[idx] += res.values
                         self._charge(res)
@@ -184,4 +205,9 @@ class FunctionShippingEngine:
         self._result.records_shipped = bins.records_sent
         self._result.records_served = bins.records_served
         self._result.ship = bins.stats
+        built, reused = self._walk_counts()
+        self._result.walks_built = built
+        self._result.walks_reused = reused
+        comm.metrics.counter("force.walks_built").inc(built)
+        comm.metrics.counter("force.walks_reused").inc(reused)
         return self._result

@@ -126,6 +126,16 @@ class SimulationResult:
             for step in self.steps for sr in step
         )
 
+    def walk_reuse(self) -> tuple[int, int]:
+        """Interaction-list traffic: total (walks_built, walks_reused)
+        across all steps and ranks.  Reused walks are evaluations served
+        from cached interaction lists without re-walking the tree."""
+        built = sum(sr.force.walks_built
+                    for step in self.steps for sr in step)
+        reused = sum(sr.force.walks_reused
+                     for step in self.steps for sr in step)
+        return built, reused
+
     def load_imbalance(self) -> float:
         return self.run.load_imbalance("force computation")
 

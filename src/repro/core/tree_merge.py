@@ -75,6 +75,46 @@ class TopTree:
             targets, self.tree.com[node], float(self.tree.mass[node])
         )
 
+    # Fused cluster interface for the interaction-list engine (same
+    # shape as MonopoleExpansion / TreeMultipoles batch methods).
+    @property
+    def batch_row_bytes(self) -> int:
+        if self.coeffs is None:
+            return 8 * (6 * self.tree.dims + 8)
+        return 16 * self.expansion.nterms * 4 + 8 * 6 * self.tree.dims
+
+    def batch_potential(self, nodes: np.ndarray,
+                        targets: np.ndarray) -> np.ndarray:
+        from repro.bh import kernels
+        if self.coeffs is None:
+            diff = targets - self.tree.com[nodes]
+            r2 = np.einsum("ij,ij->i", diff, diff)
+            with np.errstate(divide="ignore"):
+                inv_r = 1.0 / np.sqrt(r2)
+            inv_r[r2 == 0.0] = 0.0
+            return -kernels.G * self.tree.mass[nodes] * inv_r
+        from repro.bh.multipole import irregular_terms
+        rel = targets - self.tree.center[nodes]
+        I = irregular_terms(rel, self.expansion.degree)
+        return -kernels.G * np.einsum("ij,ij->i", I,
+                                      self.coeffs[nodes]).real
+
+    def batch_force(self, nodes: np.ndarray,
+                    targets: np.ndarray) -> np.ndarray:
+        from repro.bh import kernels
+        diff = targets - self.tree.com[nodes]
+        r2 = np.einsum("ij,ij->i", diff, diff)
+        zero = r2 == 0.0
+        np.sqrt(r2, out=r2)
+        with np.errstate(divide="ignore"):
+            np.divide(1.0, r2, out=r2)                 # inv_r
+        r2[zero] = 0.0
+        inv_r3 = r2 * r2
+        inv_r3 *= r2
+        w = self.tree.mass[nodes] * inv_r3
+        w *= -kernels.G
+        return w[:, None] * diff
+
 
 def _check_disjoint(branches: list[BranchInfo], dims: int) -> None:
     for i, a in enumerate(branches):

@@ -1,0 +1,257 @@
+"""Tests for the interaction-list traversal engine.
+
+The engine must be *observationally identical* to the classical
+single-pass traversal (kept as :func:`traverse_reference`): values to
+1e-12, interaction counters exactly, per-node interaction counts
+exactly, per-target weights exactly, remote-target sets element-for-
+element.  Plus the build-once/evaluate-many behaviour the two-phase
+split exists for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bh import kernels
+from repro.bh.distributions import gaussian_blobs, plummer, random_centers
+from repro.bh.interaction_lists import (
+    TraversalEngine,
+    build_interaction_lists,
+    evaluate_interaction_lists,
+)
+from repro.bh.mac import BarnesHutMAC
+from repro.bh.multipole import MonopoleExpansion, TreeMultipoles
+from repro.bh.traversal import compute_forces, compute_potentials, \
+    traverse, traverse_reference
+from repro.bh.tree import build_tree
+
+N = 800
+
+
+def _instances():
+    ps_p = plummer(N, seed=7)
+    rng = np.random.default_rng(3)
+    ps_g = gaussian_blobs(N, random_centers(4, 3, rng), sigma=2.0, seed=3)
+    return {"plummer": ps_p, "gaussian": ps_g}
+
+
+INSTANCES = _instances()
+
+
+def _evaluator(tree, particles, degree):
+    if degree == 0:
+        return MonopoleExpansion(tree)
+    return TreeMultipoles(tree, particles, degree)
+
+
+class TestMatchesReference:
+    @pytest.mark.parametrize("dist", sorted(INSTANCES))
+    @pytest.mark.parametrize("degree", [0, 2])
+    @pytest.mark.parametrize("mode", ["potential", "force"])
+    def test_values_and_counters(self, dist, degree, mode):
+        if mode == "force" and degree > 0:
+            pytest.skip("multipole evaluators are potential-only")
+        ps = INSTANCES[dist]
+        tree = build_tree(ps, leaf_capacity=8)
+        mac = BarnesHutMAC(0.67)
+        ev = _evaluator(tree, ps, degree)
+        ref = traverse_reference(tree, ps, ps.positions, mac, ev,
+                                 mode=mode)
+        res = traverse(tree, ps, ps.positions, mac, ev, mode=mode)
+        assert np.max(np.abs(res.values - ref.values)) < 1e-12
+        assert res.mac_tests == ref.mac_tests
+        assert res.cluster_interactions == ref.cluster_interactions
+        assert res.p2p_interactions == ref.p2p_interactions
+
+    def test_node_interaction_counts_exact(self):
+        ps = INSTANCES["plummer"]
+        t1 = build_tree(ps, leaf_capacity=8)
+        t2 = build_tree(ps, leaf_capacity=8)
+        mac = BarnesHutMAC(0.67)
+        traverse_reference(t1, ps, ps.positions, mac,
+                           MonopoleExpansion(t1), mode="force",
+                           count_node_interactions=True)
+        traverse(t2, ps, ps.positions, mac, MonopoleExpansion(t2),
+                 mode="force", count_node_interactions=True)
+        np.testing.assert_array_equal(t1.interactions, t2.interactions)
+
+    def test_target_weights_exact(self):
+        ps = INSTANCES["gaussian"]
+        tree = build_tree(ps, leaf_capacity=8)
+        mac = BarnesHutMAC(0.67)
+        ev = MonopoleExpansion(tree)
+        w_ref = np.zeros(ps.n)
+        w_eng = np.zeros(ps.n)
+        traverse_reference(tree, ps, ps.positions, mac, ev,
+                           mode="potential", target_weights=w_ref)
+        traverse(tree, ps, ps.positions, mac, ev, mode="potential",
+                 target_weights=w_eng)
+        # Per-target flop shares are sums of integer-valued terms, so
+        # equality is exact, not approximate.
+        np.testing.assert_array_equal(w_ref, w_eng)
+
+    def test_softened_force(self):
+        ps = INSTANCES["plummer"]
+        tree = build_tree(ps, leaf_capacity=8)
+        mac = BarnesHutMAC(0.8)
+        ev = MonopoleExpansion(tree, softening=0.05)
+        ref = traverse_reference(tree, ps, ps.positions, mac, ev,
+                                 mode="force", softening=0.05)
+        res = traverse(tree, ps, ps.positions, mac, ev, mode="force",
+                       softening=0.05)
+        assert np.max(np.abs(res.values - ref.values)) < 1e-12
+
+
+class TestRemoteTargets:
+    def _remote_tree(self):
+        ps = plummer(300, seed=21)
+        tree = build_tree(ps, leaf_capacity=8)
+        kids = tree.children[0][tree.children[0] >= 0]
+        for i, child in enumerate(kids[:2]):
+            tree.remote_owner[int(child)] = i + 1
+            tree.remote_key[int(child)] = 100 + i
+        return ps, tree
+
+    def test_matches_reference(self):
+        ps, tree = self._remote_tree()
+        mac = BarnesHutMAC(1e-9)          # force descent everywhere
+        ev = MonopoleExpansion(tree)
+        ref = traverse_reference(tree, ps, ps.positions, mac, ev)
+        res = traverse(tree, ps, ps.positions, mac, ev)
+        assert sorted(res.remote_targets) == sorted(ref.remote_targets)
+        for node, idx in res.remote_targets.items():
+            np.testing.assert_array_equal(np.sort(ref.remote_targets[node]),
+                                          idx)
+
+    def test_deterministic_and_sorted(self):
+        """Regression: remote target index lists are emitted sorted, so
+        bin contents (and therefore wire traffic) are deterministic."""
+        ps, tree = self._remote_tree()
+        lists = build_interaction_lists(tree, ps.positions,
+                                        BarnesHutMAC(1e-9))
+        assert lists.remote_targets
+        assert list(lists.remote_targets) == \
+            sorted(lists.remote_targets)
+        for idx in lists.remote_targets.values():
+            assert np.all(np.diff(idx) > 0)
+
+
+class TestBuildOnceEvaluateMany:
+    def test_one_walk_many_evaluations(self):
+        ps = INSTANCES["plummer"]
+        tree = build_tree(ps, leaf_capacity=8)
+        engine = TraversalEngine(tree, ps, BarnesHutMAC(0.67))
+        f1 = engine.compute(ps.positions, MonopoleExpansion(tree), "force")
+        p1 = engine.compute(ps.positions, MonopoleExpansion(tree),
+                            "potential")
+        f2 = engine.compute(ps.positions, MonopoleExpansion(tree), "force")
+        assert engine.walks_built == 1
+        assert engine.walks_reused == 2
+        np.testing.assert_array_equal(f1.values, f2.values)
+        assert p1.values.shape == (ps.n,)
+
+    def test_reused_walk_matches_fresh(self):
+        ps = INSTANCES["gaussian"]
+        tree = build_tree(ps, leaf_capacity=8)
+        mac = BarnesHutMAC(0.67)
+        engine = TraversalEngine(tree, ps, mac)
+        engine.compute(ps.positions, MonopoleExpansion(tree), "potential")
+        warm = engine.compute(ps.positions, MonopoleExpansion(tree),
+                              "force")
+        ref = traverse_reference(tree, ps, ps.positions, mac,
+                                 MonopoleExpansion(tree), mode="force")
+        assert np.max(np.abs(warm.values - ref.values)) < 1e-12
+        assert warm.mac_tests == ref.mac_tests
+        assert warm.cluster_interactions == ref.cluster_interactions
+        assert warm.p2p_interactions == ref.p2p_interactions
+
+    def test_cache_evicts_fifo(self):
+        ps = plummer(100, seed=5)
+        tree = build_tree(ps, leaf_capacity=8)
+        engine = TraversalEngine(tree, ps, BarnesHutMAC(0.67),
+                                 cache_size=2)
+        ev = MonopoleExpansion(tree)
+        a, b, c = (ps.positions[i::3] for i in range(3))
+        for batch in (a, b, c):
+            engine.compute(batch, ev, "potential")
+        assert engine.walks_built == 3
+        engine.compute(a, ev, "potential")      # evicted -> rebuilt
+        assert engine.walks_built == 4
+
+    def test_compute_helpers_share_engine(self):
+        ps = INSTANCES["plummer"]
+        tree = build_tree(ps, leaf_capacity=8)
+        engine = TraversalEngine(tree, ps, BarnesHutMAC(0.67))
+        pot = compute_potentials(ps, engine=engine)
+        frc = compute_forces(ps, engine=engine)
+        assert engine.walks_built == 1
+        assert engine.walks_reused == 1
+        ref_p = compute_potentials(ps, tree=build_tree(ps, leaf_capacity=8))
+        ref_f = compute_forces(ps, tree=build_tree(ps, leaf_capacity=8))
+        assert np.max(np.abs(pot.values - ref_p.values)) < 1e-12
+        assert np.max(np.abs(frc.values - ref_f.values)) < 1e-12
+
+
+class TestEvaluateDirect:
+    def test_lists_are_evaluator_independent(self):
+        """One walk serves monopole *and* multipole evaluation."""
+        ps = INSTANCES["plummer"]
+        tree = build_tree(ps, leaf_capacity=8)
+        mac = BarnesHutMAC(0.67)
+        lists = build_interaction_lists(tree, ps.positions, mac)
+        for degree in (0, 2):
+            ev = _evaluator(tree, ps, degree)
+            res = evaluate_interaction_lists(tree, lists, ps, ev,
+                                             mode="potential")
+            ref = traverse_reference(tree, ps, ps.positions, mac, ev,
+                                     mode="potential")
+            assert np.max(np.abs(res.values - ref.values)) < 1e-12
+
+    def test_working_set_does_not_change_results(self):
+        ps = INSTANCES["gaussian"]
+        tree = build_tree(ps, leaf_capacity=8)
+        mac = BarnesHutMAC(0.67)
+        lists = build_interaction_lists(tree, ps.positions, mac)
+        ev = MonopoleExpansion(tree)
+        big = evaluate_interaction_lists(tree, lists, ps, ev, mode="force")
+        tiny = evaluate_interaction_lists(tree, lists, ps, ev,
+                                          mode="force",
+                                          working_set_bytes=4096)
+        # Chunk boundaries reorder the accumulation, so agreement is to
+        # the engine's 1e-12 contract, not bitwise.
+        assert np.max(np.abs(big.values - tiny.values)) < 1e-12
+        assert big.mac_tests == tiny.mac_tests
+        assert big.cluster_interactions == tiny.cluster_interactions
+        assert big.p2p_interactions == tiny.p2p_interactions
+
+
+class TestKernelChunking:
+    def test_chunked_matches_unchunked(self):
+        rng = np.random.default_rng(17)
+        t = rng.normal(size=(500, 3))
+        s = rng.normal(size=(40, 3))
+        m = rng.uniform(0.5, 1.5, size=40)
+        full_p = kernels.pair_potential(t, s, m, working_set_bytes=1 << 30)
+        full_f = kernels.pair_force(t, s, m, working_set_bytes=1 << 30)
+        # Small working set forces many chunks; rows are computed with
+        # identical arithmetic, so equality is exact.
+        np.testing.assert_array_equal(
+            kernels.pair_potential(t, s, m, working_set_bytes=8192), full_p)
+        np.testing.assert_array_equal(
+            kernels.pair_force(t, s, m, working_set_bytes=8192), full_f)
+
+    def test_direct_sum_memory_bounded(self):
+        """A 20k x 20k direct sum must not allocate the O(n^2 d) pair
+        tensor (9.6 GB unchunked); peak temporary memory stays within a
+        small multiple of the 16 MB default working set."""
+        import tracemalloc
+
+        n = 20_000
+        rng = np.random.default_rng(23)
+        t = rng.normal(size=(n, 3))
+        m = np.ones(n)
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        kernels.pair_potential(t, t, m)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak - before < 4 * kernels.DEFAULT_WORKING_SET_BYTES
