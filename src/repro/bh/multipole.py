@@ -195,6 +195,26 @@ def m2m_shift(coeffs: np.ndarray, shift: np.ndarray, degree: int) -> np.ndarray:
     return out
 
 
+def m2m_shift_batch(coeffs: np.ndarray, shifts: np.ndarray,
+                    degree: int) -> np.ndarray:
+    """Batched M2M: row ``i`` of the result is bitwise equal to
+    ``m2m_shift(coeffs[i], shifts[i], degree)``.
+
+    ``np.add.at`` with broadcast 2-D indices accumulates in row-major
+    order — per row, indices in table order — exactly the per-pair
+    sequential scatter of the scalar operator.
+    """
+    coeffs = np.atleast_2d(coeffs)
+    shifts = np.atleast_2d(np.asarray(shifts, dtype=np.float64))
+    m = coeffs.shape[0]
+    R = regular_terms(shifts, degree)
+    out_idx, shift_idx, src_idx, coefs = _m2m_tables(degree)
+    contrib = R[:, shift_idx] * coeffs[:, src_idx] * coefs[None, :]
+    out = np.zeros((m, n_terms(degree)), dtype=np.complex128)
+    np.add.at(out, (np.arange(m)[:, None], out_idx[None, :]), contrib)
+    return out
+
+
 class MultipoleExpansion3D:
     """Spherical-harmonic expansion machinery of a fixed degree."""
 
@@ -352,6 +372,47 @@ class TreeMultipoles:
             self._build(particles)
 
     def _build(self, particles: ParticleSet) -> None:
+        """Level-batched upward pass: grouped P2M over all leaves of one
+        slice length, grouped M2M shifts per (level, child-count) bucket.
+        Bitwise equal to :meth:`_build_reference` — batched ``matmul``
+        and row-major ``add.at`` reproduce the per-node reductions
+        exactly."""
+        tree = self.tree
+        nterms = self.expansion.nterms
+        pos, masses = particles.positions, particles.masses
+        local = tree.remote_owner < 0
+        leaf_mask = (tree.children == NO_CHILD).all(axis=1) & local
+        leaves = np.flatnonzero(leaf_mask)
+        lengths = (tree.end - tree.start)[leaves]
+        for L in np.unique(lengths):
+            if L == 0:
+                continue
+            sel = leaves[lengths == L]
+            gather = tree.order[tree.start[sel][:, None]
+                                + np.arange(int(L))[None, :]]
+            rel = pos[gather] - tree.center[sel][:, None, :]
+            R = regular_terms(rel.reshape(-1, 3), self.degree)
+            R = R.reshape(sel.size, int(L), nterms)
+            q = masses[gather].astype(np.complex128)
+            # batched vector-matrix product == per-leaf ``charges @ R``
+            self.coeffs[sel] = np.matmul(q[:, None, :], R)[:, 0, :]
+        for nodes, kids in tree._internal_child_groups():
+            c = kids.shape[1]
+            shifts = (tree.center[kids.reshape(-1)]
+                      - np.repeat(tree.center[nodes], c, axis=0))
+            shifted = m2m_shift_batch(self.coeffs[kids.reshape(-1)],
+                                      shifts, self.degree)
+            shifted = shifted.reshape(nodes.size, c, nterms)
+            # sequential left-fold over children in slot order — the
+            # reference's repeated ``+=`` — not a pairwise sum
+            acc = self.coeffs[nodes]
+            for j in range(c):
+                acc = acc + shifted[:, j, :]
+            self.coeffs[nodes] = acc
+
+    def _build_reference(self, particles: ParticleSet) -> None:
+        """Per-node reverse-scan P2M/M2M pass — the oracle
+        :meth:`_build` is validated against."""
         tree, exp = self.tree, self.expansion
         for node in range(tree.nnodes - 1, -1, -1):
             if tree.is_remote(node):

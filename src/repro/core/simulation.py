@@ -45,7 +45,7 @@ from repro.core.config import SchemeConfig
 from repro.core.function_shipping import ForceResult, FunctionShippingEngine
 from repro.core.load_model import cluster_loads, particle_loads
 from repro.core.morton_assign import balance_clusters
-from repro.core.partition import Cell, cluster_keys, cover_cells
+from repro.core.partition import Cell, cover_cells
 from repro.core.tree_build import build_local_trees, local_branch_infos, \
     tree_build_flops
 from repro.core.tree_merge import merge_broadcast, merge_nonreplicated
@@ -65,6 +65,13 @@ PHASE_ADVANCE = "particle advance"
 
 #: flops charged per particle for balance bookkeeping / binning.
 BALANCE_FLOPS_PER_PARTICLE = 5.0
+
+#: Carry Morton keys across phases and through the balancing exchange
+#: instead of re-quantizing positions in every phase that needs them.
+#: Keys are pure derived data (bitwise recomputable from positions and
+#: the fixed root grid), so flipping this changes no simulation output —
+#: it exists as a debugging escape hatch and for the equivalence test.
+CARRY_MORTON_KEYS = True
 
 
 @dataclass
@@ -149,23 +156,61 @@ class SimulationResult:
         return self.step_time(len(self.steps) - 1)
 
 
-def _exchange(comm: Comm, particles: ParticleSet,
-              owners: np.ndarray) -> ParticleSet:
-    """All-to-all personalized particle movement to new owners."""
+class _Shard:
+    """One outgoing particle chunk plus its precomputed Morton keys.
+
+    The keys ride along so the receiver can skip re-quantization; they
+    are pure derived data — bitwise recomputable from the chunk's
+    positions against the fixed root grid — so ``nbytes`` charges only
+    the particle payload and the virtual communication cost of the
+    exchange is identical to shipping bare :class:`ParticleSet` chunks.
+    """
+
+    __slots__ = ("particles", "keys")
+
+    def __init__(self, particles: ParticleSet, keys: np.ndarray):
+        self.particles = particles
+        self.keys = keys
+
+    @property
+    def nbytes(self) -> int:
+        return self.particles.nbytes
+
+
+def _exchange(comm: Comm, particles: ParticleSet, owners: np.ndarray,
+              keys: np.ndarray | None = None
+              ) -> tuple[ParticleSet, np.ndarray | None]:
+    """All-to-all personalized particle movement to new owners.
+
+    With ``keys`` given, every chunk carries its particles' Morton keys
+    and the matching concatenated key array is returned (else None).
+    """
     outgoing = []
     shipped = 0
     for dst in range(comm.size):
         idx = np.flatnonzero(owners == dst)
         if dst != comm.rank:
             shipped += idx.size
-        outgoing.append(particles.subset(idx) if idx.size else None)
+        if idx.size == 0:
+            outgoing.append(None)
+        elif keys is None:
+            outgoing.append(particles.subset(idx))
+        else:
+            outgoing.append(_Shard(particles.subset(idx), keys[idx]))
     comm.metrics.counter("sim.particles_shipped").inc(shipped)
     comm.compute(BALANCE_FLOPS_PER_PARTICLE * particles.n)
     incoming = comm.alltoall(outgoing)
-    non_empty = [ps for ps in incoming if ps is not None and ps.n]
-    if not non_empty:
-        return ParticleSet.empty(particles.dims)
-    return ParticleSet.concatenate(non_empty)
+    if keys is None:
+        non_empty = [ps for ps in incoming if ps is not None and ps.n]
+        if not non_empty:
+            return ParticleSet.empty(particles.dims), None
+        return ParticleSet.concatenate(non_empty), None
+    shards = [sh for sh in incoming if sh is not None and sh.particles.n]
+    if not shards:
+        return ParticleSet.empty(particles.dims), np.zeros(0,
+                                                           dtype=np.int64)
+    return (ParticleSet.concatenate([sh.particles for sh in shards]),
+            np.concatenate([sh.keys for sh in shards]))
 
 
 class _RankState:
@@ -180,6 +225,11 @@ class _RankState:
         self.particles = particles
         self.dims = root.dims
         self._last_values: np.ndarray | None = None
+        # Depth-``bits`` Morton keys aligned with ``self.particles``,
+        # carried across phases and through the balancing exchange;
+        # None whenever positions may have changed since they were
+        # computed (advance, restore).
+        self._keys: np.ndarray | None = None
         # SPSA/SPDA cluster state
         self.cluster_owners: np.ndarray | None = None
         self.cluster_load: np.ndarray | None = None
@@ -213,8 +263,39 @@ class _RankState:
         self.key_boundaries = _copy_array(ckpt.key_boundaries)
         self.my_particle_loads = _copy_array(ckpt.my_particle_loads)
         self._last_values = _copy_array(ckpt.last_values)
+        self._keys = None
         self.comm.clock.now = ckpt.clock_now
         self.comm.clock.timings = PhaseTimings(dict(ckpt.phase_seconds))
+
+    # ------------------------------------------------------ morton keys
+    def _rank_keys(self) -> np.ndarray:
+        """Morton keys (depth ``self.bits``) of the current particles.
+
+        Cache hits are bitwise equal to recomputation — keys depend only
+        on positions and the fixed root grid, and the cache is dropped
+        whenever positions change.
+        """
+        if not CARRY_MORTON_KEYS:
+            return morton_keys(self.particles.positions, self.root.lo,
+                               self.root.side, self.bits)
+        if self._keys is None or self._keys.size != self.particles.n:
+            self._keys = morton_keys(self.particles.positions,
+                                     self.root.lo, self.root.side,
+                                     self.bits)
+        return self._keys
+
+    def _cluster_keys_from(self, keys: np.ndarray) -> np.ndarray:
+        """Static-grid cluster keys derived from full-depth Morton keys.
+
+        Truncating a depth-``bits`` key to its top ``dims * grid_level``
+        bits is *exactly* the grid-level quantization: both floor the
+        same power-of-two scaling of the same coordinates, and Morton
+        interleaving keeps the coarse bits on top.
+        """
+        g = self.config.grid_level
+        if g == 0:
+            return np.zeros(keys.size, dtype=np.int64)
+        return keys >> (self.dims * (self.bits - g))
 
     # -------------------------------------------------- decomposition
     def decompose(self, step: int) -> list[Cell]:
@@ -227,22 +308,23 @@ class _RankState:
                     self.cluster_owners = spsa_assignment(
                         cfg.grid_level, comm.size, self.dims
                     )
-                keys = cluster_keys(self.particles.positions, self.root,
-                                    cfg.grid_level)
-                owners = self.cluster_owners[keys]
-                self.particles = _exchange(comm, self.particles, owners)
+                keys = self._rank_keys()
+                owners = self.cluster_owners[self._cluster_keys_from(keys)]
+                self.particles, self._keys = _exchange(
+                    comm, self.particles, owners,
+                    keys if CARRY_MORTON_KEYS else None)
             return [Cell(cfg.grid_level, int(k)) for k in
                     clusters_of_rank(self.cluster_owners, comm.rank)]
 
         if cfg.scheme == "spda":
             with comm.clock.phase(phase):
                 r = cfg.clusters(self.dims)
+                keys = self._rank_keys()
+                ckeys = self._cluster_keys_from(keys)
                 if self.cluster_load is None:
                     # First iteration: particle counts stand in for load.
                     local = np.zeros(r)
-                    keys = cluster_keys(self.particles.positions,
-                                        self.root, cfg.grid_level)
-                    np.add.at(local, keys, 1.0)
+                    np.add.at(local, ckeys, 1.0)
                 else:
                     local = self.cluster_load
                 loads = comm.allreduce(local, lambda a, b: a + b)
@@ -250,18 +332,25 @@ class _RankState:
                     loads, self.cluster_owners, comm.size
                 )
                 comm.compute(2.0 * r)  # prefix scan over the sorted list
-                keys = cluster_keys(self.particles.positions, self.root,
-                                    cfg.grid_level)
-                owners = self.cluster_owners[keys]
-                self.particles = _exchange(comm, self.particles, owners)
+                owners = self.cluster_owners[ckeys]
+                self.particles, self._keys = _exchange(
+                    comm, self.particles, owners,
+                    keys if CARRY_MORTON_KEYS else None)
             return [Cell(cfg.grid_level, int(k)) for k in
                     clusters_of_rank(self.cluster_owners, comm.rank)]
 
         # DPDA
         with comm.clock.phase(phase):
-            keys = morton_keys(self.particles.positions, self.root.lo,
-                               self.root.side, self.bits)
-            order = np.argsort(keys, kind="stable")
+            keys = self._rank_keys()
+            if keys.size and bool(np.all(keys[1:] >= keys[:-1])):
+                # Already Morton-ascending (the usual cross-step case:
+                # the balancing exchange concatenates sorted runs and
+                # slow particle motion rarely reorders them).  A stable
+                # argsort of a sorted array is the identity permutation,
+                # so this shortcut is bitwise free.
+                order = np.arange(keys.size)
+            else:
+                order = np.argsort(keys, kind="stable")
             keys_sorted = keys[order]
             loads = (self.my_particle_loads[order]
                      if self.my_particle_loads is not None
@@ -300,7 +389,9 @@ class _RankState:
             owners = np.searchsorted(self.key_boundaries, keys,
                                      side="right")
             comm.compute(BALANCE_FLOPS_PER_PARTICLE * keys.size)
-            self.particles = _exchange(comm, self.particles, owners)
+            self.particles, self._keys = _exchange(
+                comm, self.particles, owners,
+                keys if CARRY_MORTON_KEYS else None)
         bounds = np.concatenate(([0], self.key_boundaries, [span]))
         lo, hi = int(bounds[comm.rank]), int(bounds[comm.rank + 1])
         return cover_cells(lo, hi, self.bits, self.dims)
@@ -315,7 +406,7 @@ class _RankState:
 
         with comm.clock.phase(PHASE_TREE):
             subtrees = build_local_trees(self.particles, cells, self.root,
-                                         cfg, self.bits)
+                                         cfg, self.bits, keys=self._keys)
             depth = max((st.tree.node_depth_max() for st in subtrees
                          if st.tree is not None), default=1)
             comm.compute(tree_build_flops(self.particles.n, depth))
@@ -350,9 +441,8 @@ class _RankState:
             for key, load in cluster_loads(subtrees).items():
                 arr[key] = load * per_int
             if self.particles.n:
-                keys = cluster_keys(self.particles.positions, self.root,
-                                    cfg.grid_level)
-                np.add.at(arr, keys, engine.requester_flops)
+                ckeys = self._cluster_keys_from(self._rank_keys())
+                np.add.at(arr, ckeys, engine.requester_flops)
             self.cluster_load = arr * slow
         elif cfg.scheme == "dpda":
             self.my_particle_loads = (
@@ -372,6 +462,7 @@ class _RankState:
                         self.root.hi - 1e-9 * self.root.side,
                         out=self.particles.positions)
                 comm.compute(6.0 * self.dims * self.particles.n)
+                self._keys = None    # positions moved: keys are stale
 
         self._last_values = force.values
         return StepResult(n_local=self.particles.n, force=force,

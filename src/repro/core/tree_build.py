@@ -42,15 +42,19 @@ class LocalSubtree:
 
 
 def assign_to_cells(positions: np.ndarray, cells: list[Cell],
-                    root: Box, bits: int) -> np.ndarray:
+                    root: Box, bits: int,
+                    keys: np.ndarray | None = None) -> np.ndarray:
     """Index (into ``cells``) of the owning cell of every position.
 
     Cells must be disjoint; a position in none of them gets -1.
+    ``keys`` short-circuits quantization with precomputed depth-``bits``
+    Morton keys of the positions (one per row, relative to ``root``).
     """
     if not cells:
         return np.full(np.atleast_2d(positions).shape[0], -1, dtype=np.int64)
     dims = root.dims
-    keys = morton_keys(positions, root.lo, root.side, bits)
+    if keys is None:
+        keys = morton_keys(positions, root.lo, root.side, bits)
     ranges = np.array([c.key_range(bits, dims) for c in cells],
                       dtype=np.int64)
     order = np.argsort(ranges[:, 0])
@@ -65,19 +69,30 @@ def assign_to_cells(positions: np.ndarray, cells: list[Cell],
 
 
 def build_local_trees(particles: ParticleSet, cells: list[Cell],
-                      root: Box, config: SchemeConfig,
-                      bits: int) -> list[LocalSubtree]:
+                      root: Box, config: SchemeConfig, bits: int,
+                      keys: np.ndarray | None = None) -> list[LocalSubtree]:
     """Build one subtree per owned cell over the rank's particles.
 
     Returns a subtree record per *non-empty* cell (empty cells carry no
     mass and are simply absent from the branch exchange, like the empty
     subdomains the paper assigns "to either of the processors").
 
+    Positions are quantized against the *global* root exactly once (or
+    not at all when the caller hands in the rank's cached depth-``bits``
+    ``keys``); each subtree build receives its particles' keys as a bit
+    slice of the global keys — the low ``dims * (bits - cell.depth)``
+    bits — instead of re-quantizing against the cell's rounded box, so
+    cell ownership and in-cell refinement always follow one consistent
+    grid.
+
     Raises if any particle falls outside every owned cell — that means
     the particle exchange that should precede construction was wrong.
     """
     dims = root.dims
-    slots = assign_to_cells(particles.positions, cells, root, bits)
+    if keys is None:
+        keys = morton_keys(particles.positions, root.lo, root.side, bits)
+    slots = assign_to_cells(particles.positions, cells, root, bits,
+                            keys=keys)
     if particles.n and np.any(slots < 0):
         raise ValueError(
             f"{int((slots < 0).sum())} particles are outside all owned "
@@ -91,10 +106,22 @@ def build_local_trees(particles: ParticleSet, cells: list[Cell],
         sub = particles.subset(idx)
         depth_budget = (config.max_depth if config.max_depth is not None
                         else bits) - cell.depth
+        budget = max(1, depth_budget)
+        rem = bits - cell.depth
+        sub_keys = None
+        if 0 < budget <= rem:
+            # The cell's particles share the top dims*cell.depth key
+            # bits; the remainder is the subtree's own Morton key,
+            # truncated to its depth budget.  Exact: quantization at b
+            # bits right-shifted to g < b bits equals quantization at g
+            # bits (both floor the same power-of-two scaling).
+            mask = np.int64((1 << (dims * rem)) - 1)
+            sub_keys = (keys[idx] & mask) >> (dims * (rem - budget))
         tree = build_tree(
             sub, box=cell.box(root),
             leaf_capacity=config.leaf_capacity,
-            max_depth=max(1, depth_budget),
+            max_depth=budget,
+            keys=sub_keys,
         )
         multipoles = None
         if config.degree > 0:

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.bh.multipole import MultipoleExpansion3D
 from repro.bh.particles import Box
-from repro.bh.tree import NO_CHILD, Tree, cell_box
+from repro.bh.tree import NO_CHILD, Tree, cell_boxes
 from repro.core.branch_nodes import BranchInfo, make_branch_index
 from repro.core.partition import Cell
 from repro.machine.comm import Comm
@@ -157,8 +157,7 @@ def build_top_tree(branches: list[BranchInfo], root: Box, degree: int,
     children = np.full((n, nkids), NO_CHILD, dtype=np.int32)
     depth = np.array([c.depth for c in ordered], dtype=np.int32)
     path_key = np.array([c.path_key for c in ordered], dtype=np.int64)
-    center = np.zeros((n, dims))
-    half = np.zeros(n)
+    center, half = cell_boxes(root, depth, path_key)
     counts = np.zeros(n, dtype=np.int64)
     mass = np.zeros(n)
     com = np.zeros((n, dims))
@@ -166,9 +165,6 @@ def build_top_tree(branches: list[BranchInfo], root: Box, degree: int,
     remote_key = np.full(n, -1, dtype=np.int64)
 
     for c, i in node_id.items():
-        box = cell_box(root, c.depth, c.path_key)
-        center[i] = box.center
-        half[i] = box.half
         if c.depth > 0:
             parent = node_id[c.parent(dims)]
             children[parent][c.path_key & (nkids - 1)] = i

@@ -1,0 +1,97 @@
+"""Morton-key reuse across the distributed pipeline.
+
+Quantization happens once per rank per step; every later consumer —
+cluster binning, cell assignment, per-cell subtree construction, and the
+keys carried through the particle exchange — derives its keys by bit
+arithmetic on that one array.  These tests pin the identities that make
+the reuse exact and check that carrying keys is bitwise-neutral
+end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.simulation as simulation
+from repro.bh.distributions import plummer
+from repro.bh.morton import morton_keys
+from repro.bh.particles import Box
+from repro.core.config import SchemeConfig
+from repro.core.partition import Cell
+from repro.core.simulation import ParallelBarnesHut, _Shard
+from repro.core.tree_build import build_local_trees
+from repro.machine.comm import estimate_nbytes
+
+ROOT3 = Box(np.full(3, 50.0), 50.0)
+
+TREE_FIELDS = ("children", "depth", "path_key", "center", "half",
+               "start", "end", "order", "mass", "com")
+
+
+class TestShiftIdentity:
+    """floor(x * 2^b) >> (b - g) == floor(x * 2^g): coarse keys are a
+    right-shift of fine keys, never a re-quantization."""
+
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_coarse_keys_are_shifted_fine_keys(self, dims):
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0.0, 100.0, (5000, dims))
+        pos[0] = 0.0                      # exact lower corner
+        pos[1] = np.nextafter(100.0, 0)   # just inside the upper corner
+        lo, side, bits = np.zeros(dims), 100.0, 16
+        fine = morton_keys(pos, lo, side, bits)
+        for g in (1, 2, 4, 8, 15):
+            coarse = morton_keys(pos, lo, side, g)
+            np.testing.assert_array_equal(coarse,
+                                          fine >> (dims * (bits - g)))
+
+
+class TestBuildLocalTrees:
+    def test_precomputed_keys_change_nothing(self):
+        ps = plummer(2000, seed=1)
+        cells = [Cell(1, k) for k in range(8)]
+        cfg = SchemeConfig(scheme="spsa", alpha=0.67, mode="force",
+                           degree=0, leaf_capacity=8)
+        bits = 16
+        fresh = build_local_trees(ps, cells, ROOT3, cfg, bits)
+        keys = morton_keys(ps.positions, ROOT3.lo, ROOT3.side, bits)
+        carried = build_local_trees(ps, cells, ROOT3, cfg, bits,
+                                    keys=keys)
+        assert len(fresh) == len(carried)
+        for a, b in zip(fresh, carried):
+            assert a.key == b.key
+            np.testing.assert_array_equal(a.local_idx, b.local_idx)
+            for f in TREE_FIELDS:
+                np.testing.assert_array_equal(getattr(a.tree, f),
+                                              getattr(b.tree, f),
+                                              err_msg=f)
+
+
+class TestShard:
+    def test_charges_only_particle_bytes(self):
+        """Carried keys are recomputable from the positions, so the
+        virtual machine must not bill them as extra wire traffic."""
+        ps = plummer(100, seed=0)
+        shard = _Shard(ps, np.arange(100, dtype=np.int64))
+        assert estimate_nbytes(shard) == estimate_nbytes(ps)
+
+
+class TestCarryToggle:
+    @pytest.mark.parametrize("scheme", ["spsa", "spda", "dpda"])
+    def test_bitwise_neutral_end_to_end(self, scheme, monkeypatch):
+        ps = plummer(600, seed=4)
+        cfg = SchemeConfig(scheme=scheme, alpha=0.7, mode="force",
+                           degree=0, leaf_capacity=8)
+
+        def run():
+            sim = ParallelBarnesHut(ps, cfg, p=4)
+            return sim.run(steps=2, dt=0.005)
+
+        monkeypatch.setattr(simulation, "CARRY_MORTON_KEYS", True)
+        on = run()
+        monkeypatch.setattr(simulation, "CARRY_MORTON_KEYS", False)
+        off = run()
+
+        np.testing.assert_array_equal(on.values, off.values)
+        np.testing.assert_array_equal(on.positions, off.positions)
+        assert on.parallel_time == off.parallel_time
+        assert on.force_computations() == off.force_computations()
