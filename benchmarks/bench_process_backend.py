@@ -1,0 +1,130 @@
+"""Process-backend bench: cross-validate, then measure real speedup.
+
+Runs the same simulation on the virtual backend (thread-per-rank, one
+interpreter, GIL-bound) and the process backend (one OS process per
+rank) and reports host wall-clock for both.  The bench *validates
+before it reports*: particle states (positions, velocities, values),
+virtual times and interaction counters must be bitwise identical across
+backends, else it exits nonzero without writing a result — a speedup
+number for a run that diverged would be meaningless.
+
+The acceptance target (>= 2x wall-clock at p=4, n >= 20,000) needs real
+cores; the bench records ``cpu_count`` with every entry and marks
+``target_eligible`` accordingly, so a single-core CI box reports
+honestly instead of failing spuriously.
+
+Emits ``BENCH_process_backend.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro import ParallelBarnesHut, SchemeConfig
+from repro.bh.distributions import plummer
+from repro.machine.profiles import NCUBE2
+
+from bench_util import emit_bench_json
+
+TARGET_SPEEDUP = 2.0
+TARGET_N = 20_000
+TARGET_P = 4
+
+
+def _run(particles, scheme: str, p: int, steps: int, backend: str):
+    cfg = SchemeConfig(scheme=scheme, alpha=0.67, mode="force")
+    ps = particles.subset(np.arange(particles.n))
+    sim = ParallelBarnesHut(ps, cfg, p=p, profile=NCUBE2,
+                            backend=backend, recv_timeout=1800.0)
+    t0 = time.perf_counter()
+    result = sim.run(steps=steps, dt=1e-3)
+    return result, time.perf_counter() - t0
+
+
+def _validate(v, p, scheme: str) -> None:
+    """Bitwise cross-validation; any mismatch kills the bench."""
+    checks = [
+        ("values", np.array_equal(v.values, p.values)),
+        ("positions", np.array_equal(v.positions, p.positions)),
+        ("velocities", np.array_equal(v.velocities, p.velocities)),
+        ("parallel_time", v.parallel_time == p.parallel_time),
+    ]
+    for sv, sp in zip(v.steps, p.steps):
+        for rv, rp in zip(sv, sp):
+            checks.append(("interaction counters", (
+                rv.force.mac_tests == rp.force.mac_tests
+                and rv.force.cluster_interactions
+                == rp.force.cluster_interactions
+                and rv.force.p2p_interactions == rp.force.p2p_interactions
+            )))
+    bad = [name for name, ok in checks if not ok]
+    if bad:
+        print(f"VALIDATION FAILED ({scheme}): backends differ in "
+              f"{sorted(set(bad))}", file=sys.stderr)
+        sys.exit(1)
+
+
+def bench_one(n: int, p: int, steps: int, scheme: str,
+              seed: int = 1994) -> dict:
+    particles = plummer(n, seed=seed)
+    v_res, v_wall = _run(particles, scheme, p, steps, "virtual")
+    p_res, p_wall = _run(particles, scheme, p, steps, "process")
+    _validate(v_res, p_res, scheme)
+    cpu_count = os.cpu_count() or 1
+    speedup = v_wall / p_wall if p_wall > 0 else float("inf")
+    eligible = cpu_count >= 2 and n >= TARGET_N and p >= TARGET_P
+    entry = {
+        "scheme": scheme,
+        "p": p,
+        "n": n,
+        "steps": steps,
+        "parallel_time_virtual": v_res.parallel_time,
+        "wall_seconds_virtual": v_wall,
+        "wall_seconds_process": p_wall,
+        "wall_speedup": speedup,
+        "cpu_count": cpu_count,
+        "target_speedup": TARGET_SPEEDUP,
+        "target_eligible": eligible,
+        "target_met": bool(eligible and speedup >= TARGET_SPEEDUP),
+        "validated": True,
+    }
+    print(f"{scheme} p={p} n={n}: virtual {v_wall:.2f}s, "
+          f"process {p_wall:.2f}s, speedup {speedup:.2f}x "
+          f"(cpus={cpu_count}, "
+          f"{'target met' if entry['target_met'] else 'target ' + ('missed' if eligible else 'not eligible on this host')})")
+    return entry
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small-n cross-validation run for CI")
+    ap.add_argument("--n", type=int, default=None,
+                    help="particle count (default: 20000, smoke: 600)")
+    ap.add_argument("--p", type=int, default=TARGET_P)
+    ap.add_argument("--steps", type=int, default=1)
+    ap.add_argument("--schemes", default="spda,dpda",
+                    help="comma-separated scheme list")
+    args = ap.parse_args(argv)
+    n = args.n if args.n is not None else (600 if args.smoke else TARGET_N)
+    entries = [bench_one(n, args.p, args.steps, scheme)
+               for scheme in args.schemes.split(",")]
+    path = emit_bench_json("process_backend", entries)
+    print(f"wrote {path}")
+    # The speedup gate only binds where it is physically measurable.
+    missed = [e for e in entries if e["target_eligible"]
+              and not e["target_met"]]
+    if missed:
+        print(f"speedup target missed for "
+              f"{[e['scheme'] for e in missed]}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

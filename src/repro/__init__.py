@@ -22,6 +22,8 @@ Subpackages:
 * :mod:`repro.bh` — serial Barnes-Hut substrate
 * :mod:`repro.machine` — the virtual message-passing machine
 * :mod:`repro.core` — the paper's parallel formulations
+* :mod:`repro.runtime` — process-per-rank backend (real parallelism,
+  identical virtual accounting)
 * :mod:`repro.analysis` — error / efficiency / load-model analysis
 """
 

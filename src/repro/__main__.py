@@ -93,6 +93,7 @@ def _build_sim(args):
         fault_plan=fault_plan,
         reliable=getattr(args, "reliable", False),
         checkpoint_every=getattr(args, "checkpoint_every", None),
+        backend=args.backend,
     )
     return particles, profile, fault_plan, sim
 
@@ -211,6 +212,11 @@ def _add_sim_args(cmd: argparse.ArgumentParser) -> None:
                      default="spda")
     cmd.add_argument("--procs", type=int, default=16,
                      help="virtual processor count")
+    cmd.add_argument("--backend", choices=("virtual", "process"),
+                     default="virtual",
+                     help="virtual: thread-per-rank in one interpreter; "
+                          "process: one OS process per rank (same "
+                          "virtual times, real multi-core wall clock)")
     cmd.add_argument("--machine", default="ncube2",
                      help="ncube2 | cm5 | t3e | zero")
     cmd.add_argument("--alpha", type=float, default=0.67)

@@ -538,7 +538,15 @@ class ParallelBarnesHut:
     checkpoint_every:
         Snapshot every rank's cross-step state at this step cadence; on a
         rank crash the run rolls back to the newest common checkpoint and
-        re-executes (without it a crash is fatal).
+        re-executes (without it a crash is fatal).  Virtual backend only.
+    backend:
+        ``"virtual"`` (default) runs every rank as a thread of one
+        interpreter on the virtual machine; ``"process"`` runs one OS
+        process per rank (:class:`~repro.runtime.ProcessEngine`) with
+        identical virtual accounting — results, virtual times and
+        counters are bitwise identical across backends, the process
+        backend just finishes in less wall-clock time on a multi-core
+        host.
     """
 
     def __init__(self, particles: ParticleSet, config: SchemeConfig,
@@ -547,7 +555,8 @@ class ParallelBarnesHut:
                  recv_timeout: float | None = 600.0,
                  fault_plan: FaultPlan | None = None,
                  reliable: ReliableConfig | bool | None = None,
-                 checkpoint_every: int | None = None):
+                 checkpoint_every: int | None = None,
+                 backend: str = "virtual"):
         if particles.n == 0:
             raise ValueError("cannot simulate zero particles")
         if p < 1:
@@ -575,6 +584,18 @@ class ParallelBarnesHut:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         self.checkpoint_every = checkpoint_every
+        if backend not in ("virtual", "process"):
+            raise ValueError(
+                f"backend must be 'virtual' or 'process', got {backend!r}"
+            )
+        if backend == "process" and checkpoint_every is not None:
+            # The checkpoint store is shared host-side state; rank
+            # processes cannot write into it.
+            raise ValueError(
+                "checkpoint_every requires backend='virtual' "
+                "(the checkpoint store lives in the host process)"
+            )
+        self.backend = backend
 
     def _shards(self) -> list[ParticleSet]:
         keys = morton_keys(self.particles.positions, self.root.lo,
@@ -597,10 +618,15 @@ class ParallelBarnesHut:
         rank_args: list[tuple] = [(shard, None)
                                   for shard in self._shards()]
         recoveries = 0
+        if self.backend == "process":
+            from repro.runtime import ProcessEngine
+            engine_cls = ProcessEngine
+        else:
+            engine_cls = Engine
         while True:
-            engine = Engine(self.p, self.profile,
-                            recv_timeout=self.recv_timeout,
-                            fault_plan=plan, reliable=self.reliable)
+            engine = engine_cls(self.p, self.profile,
+                                recv_timeout=self.recv_timeout,
+                                fault_plan=plan, reliable=self.reliable)
             try:
                 # A fresh tracer per attempt: after a crash rollback the
                 # re-execution's trace replaces the aborted one.

@@ -18,7 +18,7 @@ reflects the machine's topology and parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, TYPE_CHECKING
 
 import numpy as np
 
@@ -29,46 +29,58 @@ from repro.machine.faults import (
     ReliableConfig,
     ReliableDeliveryError,
 )
-from repro.machine.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
+from repro.machine.mailbox import ANY_SOURCE, ANY_TAG, Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.transport import Endpoint
 from repro.machine.metrics import BYTE_BUCKETS, MetricsRegistry
 from repro.machine.trace import RecvEvent, SendEvent, Tracer
 from repro.machine import collectives as _coll
 
 
+def _format_pending(held: dict) -> str:
+    if not held:
+        return "empty"
+    return ", ".join(f"(src={s}, tag={t}) x{n}"
+                     for (s, t), n in sorted(held.items()))
+
+
 class DeadlockError(RuntimeError):
     """A blocking receive hit the watchdog: likely deadlock.
 
-    Carries a structured picture of the whole machine at detection time:
-    for every rank, the ``(src, tag)`` it is blocked on (if any) and what
-    its mailbox still holds, so the blocked cycle can be read straight
-    off the message instead of reverse-engineered from a bare timeout.
+    Carries a structured picture of the machine at detection time: for
+    every rank the transport can see, the ``(src, tag)`` it is blocked
+    on (if any) and what its mailbox still holds, so the blocked cycle
+    can be read straight off the message instead of reverse-engineered
+    from a bare timeout.  The in-process transport reports the whole
+    machine; a process-per-rank transport reports the raising rank only
+    (the host engine stitches the per-rank views together).
     """
 
     def __init__(self, rank: int, src: int, tag: int,
                  waits: "list[tuple[int, int] | None] | None" = None,
-                 mailboxes: "list[Mailbox] | None" = None,
+                 summaries: "dict[int, dict] | None" = None,
                  timeout: float | None = None):
         self.rank = rank
         self.src = src
         self.tag = tag
         self.blocked = list(waits) if waits is not None else None
+        self.summaries = dict(summaries) if summaries is not None else None
         lines = [
             f"rank {rank}: recv(src={src}, tag={tag}) timed out after "
             f"{timeout}s — likely deadlock"
         ]
-        if waits is not None and mailboxes is not None:
+        if waits is not None:
             for r, w in enumerate(waits):
                 state = (f"blocked on recv(src={w[0]}, tag={w[1]})"
                          if w is not None else "not blocked in recv")
-                held = mailboxes[r].pending_summary()
-                if held:
-                    pending = ", ".join(
-                        f"(src={s}, tag={t}) x{n}"
-                        for (s, t), n in sorted(held.items())
-                    )
-                else:
-                    pending = "empty"
-                lines.append(f"  rank {r}: {state}; mailbox holds {pending}")
+                held = (summaries or {}).get(r, {})
+                lines.append(f"  rank {r}: {state}; mailbox holds "
+                             f"{_format_pending(held)}")
+        elif summaries:
+            for r in sorted(summaries):
+                lines.append(f"  rank {r}: mailbox holds "
+                             f"{_format_pending(summaries[r])}")
         super().__init__("\n".join(lines))
 
 
@@ -145,10 +157,10 @@ class Comm:
     ANY_TAG = ANY_TAG
 
     def __init__(self, rank: int, size: int, cost: CostModel,
-                 mailboxes: list[Mailbox], recv_timeout: float | None = 120.0,
+                 endpoint: "Endpoint",
+                 recv_timeout: float | None = 120.0,
                  injector: FaultInjector | None = None,
                  reliable: ReliableConfig | None = None,
-                 waits: list | None = None,
                  tracer: Tracer | None = None):
         if not 0 <= rank < size:
             raise ValueError(f"rank {rank} out of range for size {size}")
@@ -165,13 +177,13 @@ class Comm:
         self._m_msg_bytes = self.metrics.histogram(
             "comm.msg_bytes", bounds=BYTE_BUCKETS)
         self._m_wait = self.metrics.histogram("comm.recv_wait_seconds")
-        self._mailboxes = mailboxes
+        #: Transport endpoint: how messages physically move.  Everything
+        #: virtual-time related happens here in Comm; the endpoint only
+        #: stores and forwards already-priced messages.
+        self.endpoint = endpoint
         self._recv_timeout = recv_timeout
         self._injector = injector
         self._reliable = reliable
-        #: shared per-rank "currently blocked on (src, tag)" board, used
-        #: to assemble machine-wide deadlock reports.
-        self._waits = waits
         self._xmit_seq = 0
         self.slowdown = injector.slowdown(rank) if injector else 1.0
 
@@ -225,7 +237,7 @@ class Comm:
             self.stats.record_send(tag, nbytes)
             msg = Message(arrival=self.clock.now, src=self.rank, tag=tag,
                           payload=payload, nbytes=nbytes)
-            self._mailboxes[dst].put(msg)
+            self.endpoint.deliver(dst, msg)
             if tracer is not None:
                 tracer.send_event(SendEvent(
                     seq=msg.seq, src=self.rank, dst=dst, tag=tag,
@@ -242,7 +254,7 @@ class Comm:
             msg = Message(arrival=self.clock.now + hops * p.t_h,
                           src=self.rank, tag=tag,
                           payload=payload, nbytes=nbytes)
-            self._mailboxes[dst].put(msg)
+            self.endpoint.deliver(dst, msg)
             if tracer is not None:
                 tracer.send_event(SendEvent(
                     seq=msg.seq, src=self.rank, dst=dst, tag=tag,
@@ -296,7 +308,7 @@ class Comm:
                    + penalty + decision.extra_delay)
         msg = Message(arrival=arrival, src=self.rank, tag=tag,
                       payload=payload, nbytes=nbytes, xmit_id=xmit_id)
-        self._mailboxes[dst].put(msg)
+        self.endpoint.deliver(dst, msg)
         if tracer is not None:
             tracer.send_event(SendEvent(
                 seq=msg.seq, src=self.rank, dst=dst, tag=tag,
@@ -311,7 +323,7 @@ class Comm:
             self.stats.duplicates_injected += 1
             dup = Message(arrival=arrival, src=self.rank, tag=tag,
                           payload=payload, nbytes=nbytes, xmit_id=xmit_id)
-            self._mailboxes[dst].put(dup)
+            self.endpoint.deliver(dst, dup)
             if tracer is not None:
                 tracer.send_event(SendEvent(
                     seq=dup.seq, src=self.rank, dst=dst, tag=tag,
@@ -325,24 +337,21 @@ class Comm:
 
     def _blocking_get(self, src: int, tag: int) -> Message:
         """Matched receive with the deadlock watchdog: the wait is
-        advertised on the shared board, and a timeout raises a
-        machine-wide :class:`DeadlockError` instead of a bare timeout."""
-        if self._waits is not None:
-            self._waits[self.rank] = (src, tag)
+        advertised on the transport's board, and a timeout raises a
+        structured :class:`DeadlockError` instead of a bare timeout."""
+        self.endpoint.set_wait((src, tag))
         try:
-            msg = self._mailboxes[self.rank].get(
-                src, tag, timeout=self._recv_timeout
-            )
+            msg = self.endpoint.get(src, tag, timeout=self._recv_timeout)
         except TimeoutError as exc:
             # Leave this rank's board entry in place: it IS still blocked,
             # and concurrent timeouts on other ranks snapshot the board
             # for their own reports.
+            waits, summaries = self.endpoint.deadlock_snapshot()
             raise DeadlockError(
-                self.rank, src, tag, waits=self._waits,
-                mailboxes=self._mailboxes, timeout=self._recv_timeout,
+                self.rank, src, tag, waits=waits, summaries=summaries,
+                timeout=self._recv_timeout,
             ) from exc
-        if self._waits is not None:
-            self._waits[self.rank] = None
+        self.endpoint.set_wait(None)
         return msg
 
     def recv_msg(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
@@ -362,19 +371,18 @@ class Comm:
         rank's current clock are visible — a rank cannot react to a message
         "from the future".  Returns ``None`` when nothing has arrived.
         """
-        box = self._mailboxes[self.rank]
-        msg = box.poll(src, tag)
+        msg = self.endpoint.poll(src, tag)
         if msg is None:
             return None
         if msg.arrival > self.clock.now:
-            box.requeue(msg)  # not virtually here yet; put it back
+            self.endpoint.requeue(msg)  # not virtually here yet
             return None
         self._finish_recv(msg)
         return msg
 
     def probe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """True when a matching message is queued (regardless of arrival)."""
-        return self._mailboxes[self.rank].probe(src, tag)
+        return self.endpoint.probe(src, tag)
 
     def recv_sorted(self, counts: dict[int, int], tag: int):
         """Receive an exact multiset of messages in virtual-arrival order.

@@ -22,15 +22,23 @@ from repro.machine.faults import (
     RankCrashedError,
     ReliableConfig,
 )
-from repro.machine.mailbox import Mailbox, MailboxClosedError
+from repro.machine.mailbox import MailboxClosedError
 from repro.machine.metrics import MetricsRegistry
 from repro.machine.profiles import ZERO_COST
 from repro.machine.trace import Trace, Tracer
+from repro.machine.transport import LocalTransport
 
 
 @dataclass
 class RankResult:
-    """What one rank produced: return value, clock, comm counters."""
+    """What one rank produced: return value, clock, comm counters.
+
+    A rank that failed still yields a well-formed result: ``value`` is
+    ``None``, ``error`` carries ``"ExcType: message"``, and the clock /
+    counters hold whatever the rank accumulated before dying (a rank
+    that raises before its first clock tick reports time 0.0 and empty
+    timings rather than being dropped from the report).
+    """
 
     rank: int
     value: Any
@@ -38,6 +46,7 @@ class RankResult:
     timings: PhaseTimings
     stats: CommStats
     metrics: MetricsRegistry | None = None
+    error: str | None = None
 
 
 @dataclass
@@ -137,6 +146,49 @@ class _RankState:
     error: BaseException | None = None
 
 
+def raise_primary_error(errors: Sequence[tuple[int, BaseException]],
+                        partial_report: RunReport | None = None):
+    """Root-cause selection shared by the virtual and process engines.
+
+    Secondary ``MailboxClosedError`` failures are just other ranks being
+    released after the first rank died, so they lose to any other error.
+    Planned crashes and deadlock reports keep their type so callers can
+    drive recovery (checkpoint restart) from them, as does any error
+    declaring itself ``rank_tagged`` (the process backend's remote
+    errors); everything else is wrapped in a ``RuntimeError`` naming the
+    failing rank.  When given,
+    ``partial_report`` (a :class:`RunReport` covering every rank, failed
+    ones included) is attached to the raised exception as
+    ``partial_report``.
+    """
+    primary = [e for e in errors
+               if not isinstance(e[1], MailboxClosedError)]
+    chosen: BaseException | None = None
+    for selection in (primary, errors):
+        crashes = [e for e in selection
+                   if isinstance(e[1], RankCrashedError)]
+        if crashes:
+            chosen = crashes[0][1]
+            break
+        if selection:
+            break
+    cause: BaseException | None = None
+    if chosen is None:
+        rank, err = (primary or list(errors))[0]
+        if isinstance(err, DeadlockError) or getattr(err, "rank_tagged",
+                                                     False):
+            chosen = err
+        else:
+            chosen = RuntimeError(
+                f"virtual rank {rank} failed: {type(err).__name__}: {err}"
+            )
+            cause = err
+    chosen.partial_report = partial_report
+    if cause is not None:
+        raise chosen from cause
+    raise chosen
+
+
 class Engine:
     """Runs SPMD programs on the virtual machine.
 
@@ -202,14 +254,13 @@ class Engine:
             raise ValueError(
                 f"tracer sized for {tracer.size} ranks, engine has {self.size}"
             )
-        mailboxes = [Mailbox(r) for r in range(self.size)]
+        transport = LocalTransport(self.size)
         injector = (FaultInjector(self.fault_plan, self.size)
                     if self.fault_plan is not None else None)
-        waits: list = [None] * self.size
-        comms = [Comm(r, self.size, self.cost, mailboxes,
+        comms = [Comm(r, self.size, self.cost, transport.endpoint(r),
                       recv_timeout=self.recv_timeout,
                       injector=injector, reliable=self.reliable,
-                      waits=waits, tracer=tracer)
+                      tracer=tracer)
                  for r in range(self.size)]
         if injector is not None:
             for r in range(self.size):
@@ -226,8 +277,7 @@ class Engine:
                 states[rank].value = main(comms[rank], *args, *extra)
             except BaseException as exc:  # propagate to the caller
                 states[rank].error = exc
-                for box in mailboxes:
-                    box.close()
+                transport.close_all()
 
         threads = [
             threading.Thread(target=runner, args=(r,),
@@ -239,42 +289,33 @@ class Engine:
         for t in threads:
             t.join()
 
-        errors = [(r, s.error) for r, s in enumerate(states) if s.error]
-        if errors:
-            # Prefer the root cause: secondary MailboxClosedError failures
-            # are just other ranks being released after the first rank
-            # died.  Planned crashes and deadlock reports keep their type
-            # so callers can drive recovery (checkpoint restart) from them.
-            primary = [e for e in errors
-                       if not isinstance(e[1], MailboxClosedError)]
-            for selection in (primary, errors):
-                crashes = [e for e in selection
-                           if isinstance(e[1], RankCrashedError)]
-                if crashes:
-                    raise crashes[0][1]
-                if selection:
-                    break
-            rank, err = (primary or errors)[0]
-            if isinstance(err, DeadlockError):
-                raise err
-            raise RuntimeError(
-                f"virtual rank {rank} failed: {type(err).__name__}: {err}"
-            ) from err
-
         for r in range(self.size):
             comms[r].stats.duplicates_suppressed = \
-                mailboxes[r].duplicates_suppressed
+                comms[r].endpoint.duplicates_suppressed
             comms[r].metrics.gauge("mailbox.max_pending").set(
-                mailboxes[r].max_pending)
-        trace = None
-        if tracer is not None:
-            tracer.final_times = [c.clock.now for c in comms]
-            trace = tracer.finish()
-        return RunReport(ranks=[
-            RankResult(rank=r, value=states[r].value,
-                       time=comms[r].clock.now,
-                       timings=comms[r].clock.timings,
-                       stats=comms[r].stats,
-                       metrics=comms[r].metrics)
-            for r in range(self.size)
-        ], trace=trace)
+                comms[r].endpoint.max_pending)
+
+        def build_report(trace_done: bool) -> RunReport:
+            trace = None
+            if tracer is not None and trace_done:
+                tracer.final_times = [c.clock.now for c in comms]
+                trace = tracer.finish()
+            return RunReport(ranks=[
+                RankResult(rank=r, value=states[r].value,
+                           time=comms[r].clock.now,
+                           timings=comms[r].clock.timings,
+                           stats=comms[r].stats,
+                           metrics=comms[r].metrics,
+                           error=(None if states[r].error is None else
+                                  f"{type(states[r].error).__name__}: "
+                                  f"{states[r].error}"))
+                for r in range(self.size)
+            ], trace=trace)
+
+        errors = [(r, s.error) for r, s in enumerate(states) if s.error]
+        if errors:
+            # Even a failed run yields a well-formed report — every rank
+            # appears, including ranks that died before their first clock
+            # tick — attached to the raised error for diagnostics.
+            raise_primary_error(errors, partial_report=build_report(False))
+        return build_report(True)

@@ -1,0 +1,32 @@
+"""Real-parallel process runtime: the second execution substrate.
+
+The virtual machine (:mod:`repro.machine`) runs every rank as a thread
+in one interpreter and reports *virtual* time; no scheme can ever beat
+one host core.  This package executes the exact same rank programs on
+real ``multiprocessing`` workers — one OS process per rank, messages
+over pipes with large numpy payloads handed off through
+``multiprocessing.shared_memory`` — while charging the same virtual
+costs through the same :class:`~repro.machine.comm.Comm`, so the two
+backends are bitwise cross-validatable and the process backend adds
+real multi-core host-time speedup on top.
+
+* :class:`~repro.runtime.process_engine.ProcessEngine` — drop-in
+  engine with the :class:`~repro.machine.engine.Engine` ``RunReport``
+  contract.
+* :class:`~repro.runtime.process_transport.ProcessTransport` — the
+  queue + shared-memory message transport.
+"""
+
+from repro.runtime.process_engine import (
+    ProcessEngine,
+    ProcessWatchdogError,
+    RemoteRankError,
+)
+from repro.runtime.process_transport import ProcessTransport
+
+__all__ = [
+    "ProcessEngine",
+    "ProcessTransport",
+    "ProcessWatchdogError",
+    "RemoteRankError",
+]

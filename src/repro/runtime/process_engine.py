@@ -1,0 +1,385 @@
+"""Process-per-rank SPMD runner with the virtual engine's contract.
+
+``ProcessEngine(p, profile).run(main, args...)`` forks ``p`` OS
+processes, each executing ``main(comm, *args)`` against its own
+:class:`~repro.machine.comm.Comm` — the *same* rank programs, cost
+model, fault injector and collectives as the thread-per-rank
+:class:`~repro.machine.engine.Engine` — and returns the same
+:class:`~repro.machine.engine.RunReport`.  All reported times are still
+virtual; what the processes add is real multi-core wall-clock speed.
+
+Determinism guarantee (the cross-validation tests pin it down): every
+virtual-time decision is a pure function of the sender's clock and the
+cost model, every receive in the simulation names its source explicitly,
+and per-source message order is FIFO on both transports — so particle
+states, virtual clocks and interaction counters are bitwise identical
+across backends.
+
+Failure handling mirrors the virtual engine: a worker ships its
+exception home with a rank-tagged traceback; the host terminates the
+survivors, reconstructs typed errors (``RankCrashedError``,
+``DeadlockError``) where recovery logic depends on the type, wraps
+everything else in :class:`RemoteRankError`, and routes the lot through
+the shared :func:`~repro.machine.engine.raise_primary_error` root-cause
+selection with a well-formed partial report attached.  A host-side
+wall-clock watchdog (:class:`ProcessWatchdogError`) covers the failure
+mode threads cannot have: a worker process dying without a word.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import queue as _queue
+import time
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.machine import mailbox as _mailbox_mod
+from repro.machine.clock import PhaseTimings
+from repro.machine.comm import Comm, CommStats, DeadlockError
+from repro.machine.costmodel import CostModel, MachineProfile
+from repro.machine.engine import RankResult, RunReport, raise_primary_error
+from repro.machine.faults import (
+    FaultInjector,
+    FaultPlan,
+    RankCrashedError,
+    ReliableConfig,
+)
+from repro.machine.profiles import ZERO_COST
+from repro.machine.trace import Trace, Tracer
+from repro.runtime import shm as _shm_codec
+from repro.runtime.process_transport import ProcessTransport
+
+#: Seq-counter stride per rank: each worker numbers its messages from
+#: ``rank << SEQ_SHIFT``, so seqs are globally unique (trace stitching
+#: needs that) while staying monotone per sender (all ordering needs).
+SEQ_SHIFT = 44
+
+_run_counter = itertools.count()
+
+
+class RemoteRankError(RuntimeError):
+    """A rank process raised; carries the remote traceback, rank-tagged."""
+
+    #: Already names its rank: root-cause selection raises it unwrapped.
+    rank_tagged = True
+
+    def __init__(self, rank: int, summary: str, remote_traceback: str):
+        self.rank = rank
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"rank {rank} (process backend) failed: {summary}\n"
+            f"--- traceback from rank {rank} ---\n{remote_traceback}"
+        )
+
+
+class ProcessWatchdogError(RuntimeError):
+    """The host gave up waiting on worker results (wall-clock timeout).
+
+    The process analogue of :class:`~repro.machine.comm.DeadlockError`:
+    it fires when a worker can no longer report anything — killed by the
+    OS, wedged outside a receive, or stuck in native code.  Carries the
+    ranks that never reported and which of them were still alive.
+    """
+
+    def __init__(self, missing: list[int], alive: list[int],
+                 timeout: float):
+        self.missing = list(missing)
+        self.alive = list(alive)
+        lines = [
+            f"process backend: gave up after {timeout}s with "
+            f"{len(missing)} rank(s) unreported — likely deadlock or "
+            f"killed worker"
+        ]
+        for r in missing:
+            state = "still running" if r in alive else "process exited"
+            lines.append(f"  rank {r}: no result; {state}")
+        super().__init__("\n".join(lines))
+
+
+def _worker_main(rank: int, size: int, transport: ProcessTransport,
+                 result_q, main: Callable[..., Any], args: tuple,
+                 extra: tuple, profile: MachineProfile,
+                 recv_timeout: float | None,
+                 fault_plan: FaultPlan | None,
+                 reliable: ReliableConfig | None, trace: bool,
+                 result_prefix: str) -> None:
+    """Body of one rank process (module-level so ``spawn`` can pickle it)."""
+    # Renumber this process's messages into a rank-private seq range:
+    # globally unique for trace stitching, monotone per sender — the only
+    # property Message ordering consumes — so virtual times match the
+    # shared-counter virtual backend bitwise.
+    _mailbox_mod._seq_counter = itertools.count(rank << SEQ_SHIFT)
+    envelope: dict[str, Any] = {"rank": rank}
+    comm = None
+    tracer = Tracer(size) if trace else None
+    try:
+        cost = CostModel(profile, size)
+        injector = (FaultInjector(fault_plan, size)
+                    if fault_plan is not None else None)
+        comm = Comm(rank, size, cost, transport.endpoint(rank),
+                    recv_timeout=recv_timeout, injector=injector,
+                    reliable=reliable, tracer=tracer)
+        if injector is not None:
+            t = injector.crash_time(rank)
+            if t is not None:
+                comm.clock.set_deadline(
+                    t, lambda r=rank, at=t: RankCrashedError(r, at)
+                )
+        envelope["kind"] = "ok"
+        envelope["value"] = main(comm, *args, *extra)
+    except BaseException as exc:
+        envelope["kind"] = "error"
+        envelope["value"] = None
+        envelope["error_type"] = type(exc).__name__
+        envelope["error_msg"] = str(exc)
+        envelope["traceback"] = traceback.format_exc()
+        if isinstance(exc, RankCrashedError):
+            envelope["crash_at"] = exc.at_time
+        elif isinstance(exc, DeadlockError):
+            envelope["deadlock"] = {
+                "src": exc.src, "tag": exc.tag,
+                "summaries": exc.summaries,
+                "timeout": recv_timeout,
+            }
+    if comm is not None:
+        comm.stats.duplicates_suppressed = \
+            comm.endpoint.duplicates_suppressed
+        comm.metrics.gauge("mailbox.max_pending").set(
+            comm.endpoint.max_pending)
+        envelope["time"] = comm.clock.now
+        envelope["timings"] = comm.clock.timings
+        envelope["stats"] = comm.stats
+        envelope["metrics"] = comm.metrics
+    if tracer is not None:
+        envelope["trace"] = (tracer.phases[rank], tracer.sends[rank],
+                             tracer.recvs[rank])
+    try:
+        data, block_info = _shm_codec.encode(envelope,
+                                             name_prefix=result_prefix)
+        result_q.put((rank, data, block_info))
+    except Exception:
+        # The value did not survive encoding (an unpicklable return).
+        # Ship a minimal error envelope instead of dying silently.
+        result_q.put((rank, _shm_codec.encode({
+            "rank": rank, "kind": "error", "value": None,
+            "error_type": "RuntimeError",
+            "error_msg": "rank result could not be pickled",
+            "traceback": traceback.format_exc(),
+            "time": envelope.get("time", 0.0),
+        }, threshold=None)[0], None))
+
+
+class ProcessEngine:
+    """Runs SPMD programs on real ``multiprocessing`` workers.
+
+    Constructor parameters mirror :class:`~repro.machine.engine.Engine`
+    (size, profile, ``recv_timeout``, ``fault_plan``, ``reliable``), plus:
+
+    start_method:
+        ``multiprocessing`` start method; ``None`` takes the platform
+        default (``fork`` on Linux — no pickling of the rank program).
+    wall_timeout:
+        Real-seconds budget for the whole run before the host terminates
+        the workers and raises :class:`ProcessWatchdogError`.  Defaults
+        to ``recv_timeout + 60`` so the in-worker deadlock watchdog
+        (which produces the far more informative
+        :class:`~repro.machine.comm.DeadlockError`) always gets to fire
+        first; ``recv_timeout=None`` leaves the run unbounded.
+    shm_threshold:
+        Byte floor above which message arrays travel through shared
+        memory (``None`` disables the shared-memory path entirely).
+    """
+
+    def __init__(self, size: int, profile: MachineProfile = ZERO_COST,
+                 recv_timeout: float | None = 120.0,
+                 fault_plan: FaultPlan | None = None,
+                 reliable: ReliableConfig | bool | None = None,
+                 start_method: str | None = None,
+                 wall_timeout: float | None = None,
+                 shm_threshold: int | None =
+                 _shm_codec.DEFAULT_SHM_THRESHOLD):
+        if size <= 0:
+            raise ValueError(f"engine size must be positive, got {size}")
+        self.size = size
+        self.profile = profile
+        self.cost = CostModel(profile, size)
+        self.recv_timeout = recv_timeout
+        self.fault_plan = fault_plan
+        if reliable is True:
+            reliable = ReliableConfig()
+        elif reliable is False:
+            reliable = None
+        self.reliable = reliable
+        self.start_method = start_method
+        if wall_timeout is None and recv_timeout is not None:
+            wall_timeout = recv_timeout + 60.0
+        self.wall_timeout = wall_timeout
+        self.shm_threshold = shm_threshold
+
+    def run(self, main: Callable[..., Any], *args: Any,
+            rank_args: Sequence[Sequence[Any]] | None = None,
+            tracer: Tracer | bool | None = None) -> RunReport:
+        """Execute ``main(comm, *args)`` on every rank, one process each.
+
+        Same signature and report as
+        :meth:`repro.machine.engine.Engine.run`.  ``tracer=True`` (or a
+        host-side :class:`~repro.machine.trace.Tracer`) enables tracing;
+        per-rank event lists are recorded in the workers and merged into
+        one :class:`~repro.machine.trace.Trace` on the report.
+        """
+        if rank_args is not None and len(rank_args) != self.size:
+            raise ValueError(
+                f"rank_args must have {self.size} entries, got {len(rank_args)}"
+            )
+        if tracer is not None and not isinstance(tracer, bool) \
+                and tracer.size != self.size:
+            raise ValueError(
+                f"tracer sized for {tracer.size} ranks, engine has {self.size}"
+            )
+        trace_on = tracer is True or (tracer is not None
+                                      and not isinstance(tracer, bool))
+        ctx = mp.get_context(self.start_method)
+        shm_prefix = f"repro{os.getpid()}x{next(_run_counter)}"
+        transport = ProcessTransport(ctx, self.size, shm_prefix,
+                                     shm_threshold=self.shm_threshold)
+        result_q = ctx.Queue()
+        workers = []
+        for r in range(self.size):
+            extra = tuple(rank_args[r]) if rank_args is not None else ()
+            workers.append(ctx.Process(
+                target=_worker_main,
+                args=(r, self.size, transport, result_q, main,
+                      tuple(args), extra, self.profile, self.recv_timeout,
+                      self.fault_plan, self.reliable, trace_on,
+                      f"{shm_prefix}res"),
+                name=f"prank-{r}", daemon=True,
+            ))
+        envelopes: dict[int, dict[str, Any]] = {}
+        try:
+            for w in workers:
+                w.start()
+            deadline = (time.monotonic() + self.wall_timeout
+                        if self.wall_timeout is not None else None)
+            while len(envelopes) < self.size:
+                wait: float | None = 1.0
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        missing = [r for r in range(self.size)
+                                   if r not in envelopes]
+                        alive = [r for r in missing
+                                 if workers[r].is_alive()]
+                        raise ProcessWatchdogError(missing, alive,
+                                                   self.wall_timeout)
+                    wait = min(wait, remaining)
+                try:
+                    rank, data, block_info = result_q.get(timeout=wait)
+                except _queue.Empty:
+                    dead = [r for r in range(self.size)
+                            if r not in envelopes
+                            and not workers[r].is_alive()]
+                    if dead and result_q.empty():
+                        # A worker exited without reporting (killed /
+                        # crashed interpreter): waiting longer is useless.
+                        raise ProcessWatchdogError(
+                            dead, [], self.wall_timeout or 0.0)
+                    continue
+                envelopes[rank] = _shm_codec.decode(data, block_info)
+                if envelopes[rank]["kind"] == "error":
+                    break
+        finally:
+            # First error / watchdog ends the run: terminate survivors
+            # (the process analogue of the virtual engine's mailbox
+            # close).  On a clean run every worker has already exited.
+            for w in workers:
+                if w.is_alive():
+                    w.terminate()
+            for w in workers:
+                if w.pid is not None:
+                    w.join(timeout=10.0)
+            for w in workers:
+                if w.is_alive():  # pragma: no cover - last resort
+                    w.kill()
+                    w.join(timeout=5.0)
+            transport.drain_leftovers()
+            self._drain_results(result_q, envelopes)
+            result_q.close()
+            for q in transport.queues:
+                q.close()
+            _shm_codec.cleanup_blocks(shm_prefix)
+
+        return self._build_report(envelopes, trace_on, tracer)
+
+    def _drain_results(self, result_q, envelopes: dict) -> None:
+        """Absorb late results (decoding frees their shm blocks)."""
+        while True:
+            try:
+                rank, data, block_info = result_q.get_nowait()
+            except (_queue.Empty, OSError, EOFError):
+                return
+            try:
+                envelopes.setdefault(rank,
+                                     _shm_codec.decode(data, block_info))
+            except Exception:  # pragma: no cover - torn-down block
+                pass
+
+    def _build_report(self, envelopes: dict[int, dict[str, Any]],
+                      trace_on: bool,
+                      tracer: Tracer | bool | None) -> RunReport:
+        ranks: list[RankResult] = []
+        errors: list[tuple[int, BaseException]] = []
+        for r in range(self.size):
+            env = envelopes.get(r)
+            if env is None:
+                # Terminated before reporting (another rank failed
+                # first); still yields a well-formed result row.
+                ranks.append(RankResult(
+                    rank=r, value=None, time=0.0, timings=PhaseTimings(),
+                    stats=CommStats(), metrics=None,
+                    error="RuntimeError: worker terminated before "
+                          "reporting a result"))
+                continue
+            error = None
+            if env["kind"] == "error":
+                error = f"{env['error_type']}: {env['error_msg']}"
+                errors.append((r, self._rebuild_error(env)))
+            ranks.append(RankResult(
+                rank=r, value=env.get("value"),
+                time=env.get("time", 0.0),
+                timings=env.get("timings") or PhaseTimings(),
+                stats=env.get("stats") or CommStats(),
+                metrics=env.get("metrics"), error=error))
+        trace = None
+        if trace_on and not errors:
+            merged = tracer if isinstance(tracer, Tracer) \
+                else Tracer(self.size)
+            for r in range(self.size):
+                env = envelopes.get(r) or {}
+                phases, sends, recvs = env.get("trace") or ([], [], [])
+                merged.phases[r] = list(phases)
+                merged.sends[r] = list(sends)
+                merged.recvs[r] = list(recvs)
+            merged.final_times = [res.time for res in ranks]
+            trace = merged.finish()
+        report = RunReport(ranks=ranks, trace=trace)
+        if errors:
+            raise_primary_error(errors, partial_report=report)
+        return report
+
+    @staticmethod
+    def _rebuild_error(env: dict[str, Any]) -> BaseException:
+        """Reconstruct a typed exception from a worker's error envelope."""
+        rank = env["rank"]
+        if "crash_at" in env:
+            return RankCrashedError(rank, env["crash_at"])
+        dl = env.get("deadlock")
+        if dl is not None:
+            return DeadlockError(rank, dl["src"], dl["tag"],
+                                 summaries=dl["summaries"],
+                                 timeout=dl["timeout"])
+        return RemoteRankError(
+            rank, f"{env['error_type']}: {env['error_msg']}",
+            env.get("traceback", "<no traceback captured>"))

@@ -1,0 +1,170 @@
+"""Queue + shared-memory transport between rank processes.
+
+One ``multiprocessing`` queue per rank carries encoded
+:class:`~repro.machine.mailbox.Message` records; large numpy payloads
+travel out-of-band in shared-memory blocks (:mod:`repro.runtime.shm`).
+Each worker drains its queue into a private in-process
+:class:`~repro.machine.mailbox.Mailbox`, which supplies the matched
+``(src, tag)`` receive semantics, virtual-arrival ordering and
+reliable-layer duplicate suppression — exactly the structure the
+in-process :class:`~repro.machine.transport.LocalTransport` uses, with
+the pipe in front.
+
+Determinism: queues are FIFO per producer, so messages from one sender
+arrive in send order — the same per-``(src, tag)`` FIFO guarantee the
+local transport gives — and every virtual-time decision was already
+priced into the message by the sender.  Which is why the two transports
+produce bitwise-identical virtual clocks for the same program.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import time
+from typing import Any
+
+from repro.machine.mailbox import Mailbox, Message
+from repro.machine.transport import Endpoint
+from repro.runtime import shm as _shm_codec
+
+#: How long one blocking queue read waits before re-checking the
+#: watchdog deadline (real seconds; never charges any virtual clock).
+_POLL_SECONDS = 0.05
+
+
+class ProcessTransport:
+    """Host-side factory for the per-rank queues of one run.
+
+    Created by the :class:`~repro.runtime.process_engine.ProcessEngine`
+    before forking; each worker then builds its own
+    :class:`ProcessEndpoint` around the shared queue array.
+    """
+
+    def __init__(self, ctx, size: int, shm_prefix: str,
+                 shm_threshold: int | None = _shm_codec.DEFAULT_SHM_THRESHOLD):
+        if size <= 0:
+            raise ValueError(f"transport size must be positive, got {size}")
+        self.size = size
+        self.shm_prefix = shm_prefix
+        self.shm_threshold = shm_threshold
+        self.queues = [ctx.Queue() for _ in range(size)]
+
+    def endpoint(self, rank: int) -> "ProcessEndpoint":
+        """Build rank ``rank``'s endpoint (call inside the worker)."""
+        return ProcessEndpoint(rank, self.size, self.queues,
+                               self.shm_prefix, self.shm_threshold)
+
+    def drain_leftovers(self) -> None:
+        """Decode-and-drop every undelivered message (host teardown).
+
+        Undelivered messages may own shared-memory blocks; decoding them
+        is what unlinks the blocks.  Called after all workers exited.
+        """
+        for q in self.queues:
+            while True:
+                try:
+                    src, data, block_info = q.get_nowait()
+                except (_queue.Empty, OSError, EOFError):
+                    break
+                try:
+                    _shm_codec.decode(data, block_info)
+                except Exception:
+                    pass
+
+
+class ProcessEndpoint(Endpoint):
+    """One rank process's view of the transport."""
+
+    def __init__(self, rank: int, size: int, queues, shm_prefix: str,
+                 shm_threshold: int | None):
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        self.rank = rank
+        self.size = size
+        self._queues = queues
+        self._shm_prefix = f"{shm_prefix}r{rank}"
+        self._shm_threshold = shm_threshold
+        #: Decoded-message store: supplies matching, ordering and
+        #: reliable-layer dedup, identical to the local transport.
+        self._box = Mailbox(rank)
+
+    # ------------------------------------------------------------- sending
+    def deliver(self, dst: int, msg: Message) -> None:
+        if dst == self.rank:
+            self._box.put(msg)
+            return
+        data, block_info = _shm_codec.encode(
+            (msg.arrival, msg.seq, msg.tag, msg.nbytes, msg.xmit_id,
+             msg.payload),
+            name_prefix=self._shm_prefix, threshold=self._shm_threshold,
+        )
+        self._queues[dst].put((msg.src, data, block_info))
+
+    # ----------------------------------------------------------- receiving
+    def _accept(self, item: Any) -> None:
+        src, data, block_info = item
+        arrival, seq, tag, nbytes, xmit_id, payload = \
+            _shm_codec.decode(data, block_info)
+        self._box.put(Message(arrival=arrival, src=src, seq=seq, tag=tag,
+                              payload=payload, nbytes=nbytes,
+                              xmit_id=xmit_id))
+
+    def _drain_pending(self) -> None:
+        """Move everything already sitting in the pipe into the mailbox."""
+        q = self._queues[self.rank]
+        while True:
+            try:
+                item = q.get_nowait()
+            except _queue.Empty:
+                return
+            self._accept(item)
+
+    def get(self, src: int, tag: int, timeout: float | None) -> Message:
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        q = self._queues[self.rank]
+        while True:
+            self._drain_pending()
+            msg = self._box.poll(src, tag)
+            if msg is not None:
+                return msg
+            wait = _POLL_SECONDS
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"rank {self.rank}: recv(src={src}, tag={tag}) "
+                        f"timed out after {timeout}s — likely deadlock"
+                    )
+                wait = min(wait, remaining)
+            try:
+                item = q.get(timeout=wait)
+            except _queue.Empty:
+                continue
+            self._accept(item)
+
+    def poll(self, src: int, tag: int) -> Message | None:
+        self._drain_pending()
+        return self._box.poll(src, tag)
+
+    def requeue(self, msg: Message) -> None:
+        self._box.requeue(msg)
+
+    def probe(self, src: int, tag: int) -> bool:
+        self._drain_pending()
+        return self._box.probe(src, tag)
+
+    # ------------------------------------------------- deadlock diagnostics
+    def deadlock_snapshot(self):
+        # No machine-wide board across processes: report what this rank
+        # can see (the engine's watchdog aggregates per-rank reports).
+        return None, {self.rank: self._box.pending_summary()}
+
+    # ------------------------------------------------------------ counters
+    @property
+    def duplicates_suppressed(self) -> int:
+        return self._box.duplicates_suppressed
+
+    @property
+    def max_pending(self) -> int:
+        return self._box.max_pending

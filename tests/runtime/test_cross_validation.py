@@ -1,0 +1,92 @@
+"""Backend cross-validation: the acceptance gate of the process runtime.
+
+For every scheme, running the full simulation on the virtual backend
+(thread-per-rank) and the process backend (process-per-rank) must give
+bitwise-identical particle states, virtual times, and interaction
+counters.  Nothing about moving ranks into OS processes may perturb a
+single bit of the physics or the virtual accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ParallelBarnesHut, SchemeConfig, gaussian_blobs, plummer
+from repro.machine.profiles import NCUBE2
+
+SCHEMES = ("spsa", "spda", "dpda")
+
+
+def _instances():
+    centers = np.array([[25.0, 25.0, 25.0], [75.0, 25.0, 60.0],
+                        [40.0, 80.0, 30.0], [70.0, 70.0, 75.0]])
+    return {
+        "plummer": plummer(240, seed=5),
+        "gaussian": gaussian_blobs(240, centers, sigma=6.0, seed=9),
+    }
+
+
+def _run(particles, scheme, backend, steps=2):
+    cfg = SchemeConfig(scheme=scheme, alpha=0.67, mode="force")
+    ps = particles.subset(np.arange(particles.n))   # private copy
+    sim = ParallelBarnesHut(ps, cfg, p=4, profile=NCUBE2,
+                            backend=backend)
+    return sim.run(steps=steps, dt=1e-3)
+
+
+@pytest.mark.parametrize("inst", ["plummer", "gaussian"])
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_backends_bitwise_identical(scheme, inst):
+    particles = _instances()[inst]
+    v = _run(particles, scheme, "virtual")
+    p = _run(particles, scheme, "process")
+
+    # Particle state: exact bit equality, not tolerance.
+    assert np.array_equal(v.values, p.values)
+    assert np.array_equal(v.positions, p.positions)
+    assert np.array_equal(v.velocities, p.velocities)
+
+    # Virtual clocks.
+    assert v.parallel_time == p.parallel_time
+    for rv, rp in zip(v.run.ranks, p.run.ranks):
+        assert rv.time == rp.time
+        assert rv.timings == rp.timings
+        assert rv.stats == rp.stats
+
+    # Interaction counters, per rank and per step.
+    for sv, sp in zip(v.steps, p.steps):
+        for rv, rp in zip(sv, sp):
+            assert rv.n_local == rp.n_local
+            assert rv.moved_in == rp.moved_in
+            assert rv.virtual_seconds == rp.virtual_seconds
+            fv, fp = rv.force, rp.force
+            assert fv.mac_tests == fp.mac_tests
+            assert fv.cluster_interactions == fp.cluster_interactions
+            assert fv.p2p_interactions == fp.p2p_interactions
+            assert fv.records_shipped == fp.records_shipped
+            assert fv.records_served == fp.records_served
+
+
+def test_potential_mode_cross_validates():
+    particles = _instances()["plummer"]
+    cfg = SchemeConfig(scheme="dpda", alpha=0.67, mode="potential")
+    res = {}
+    for backend in ("virtual", "process"):
+        ps = particles.subset(np.arange(particles.n))
+        res[backend] = ParallelBarnesHut(
+            ps, cfg, p=4, profile=NCUBE2, backend=backend).run(steps=1)
+    assert np.array_equal(res["virtual"].values, res["process"].values)
+    assert res["virtual"].parallel_time == res["process"].parallel_time
+
+
+def test_process_backend_rejects_checkpointing():
+    with pytest.raises(ValueError, match="backend='virtual'"):
+        ParallelBarnesHut(plummer(64, seed=1),
+                          SchemeConfig(scheme="spda"), p=2,
+                          backend="process", checkpoint_every=1)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="backend"):
+        ParallelBarnesHut(plummer(64, seed=1),
+                          SchemeConfig(scheme="spda"), p=2,
+                          backend="mpi")

@@ -1,0 +1,186 @@
+"""ProcessEngine: RunReport contract, failure propagation, watchdog."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.machine.comm import DeadlockError
+from repro.machine.engine import Engine
+from repro.machine.faults import FaultPlan, RankCrashedError
+from repro.machine.profiles import NCUBE2
+from repro.runtime import (
+    ProcessEngine,
+    ProcessWatchdogError,
+    RemoteRankError,
+)
+
+
+def _work(comm, n):
+    comm.compute(n * 10.0, phase="work")
+    return comm.allreduce(comm.rank, lambda a, b: a + b)
+
+
+def test_run_report_contract():
+    report = ProcessEngine(4, NCUBE2).run(_work, 100)
+    assert report.size == 4
+    assert report.values == [6, 6, 6, 6]
+    assert report.parallel_time > 0
+    for r, res in enumerate(report.ranks):
+        assert res.rank == r
+        assert res.error is None
+        assert res.timings.get("work") > 0
+        assert res.stats.messages_sent > 0
+        assert res.metrics is not None
+    assert report.metrics_summary().snapshot()
+    assert report.load_imbalance() >= 1.0
+
+
+def _per_rank(comm, base, bonus):
+    return base + bonus * comm.rank
+
+
+def test_rank_args_forwarded():
+    report = ProcessEngine(2).run(
+        _per_rank, 100, rank_args=[(1,), (2,)])
+    assert report.values == [100, 102]
+
+
+def test_rank_args_length_validated():
+    with pytest.raises(ValueError, match="rank_args"):
+        ProcessEngine(3).run(_per_rank, 0, rank_args=[(1,)])
+
+
+def _boom(comm):
+    if comm.rank == 1:
+        raise ValueError("deliberate failure on rank 1")
+    comm.send(comm.rank, dst=(comm.rank + 1) % comm.size, tag=1)
+    return comm.recv(src=(comm.rank - 1) % comm.size, tag=1)
+
+
+def test_remote_exception_rank_tagged_with_traceback():
+    with pytest.raises(RemoteRankError) as ei:
+        ProcessEngine(3, recv_timeout=10.0).run(_boom)
+    err = ei.value
+    assert err.rank == 1
+    assert "ValueError: deliberate failure on rank 1" in str(err)
+    assert "traceback from rank 1" in str(err)
+    assert "_boom" in err.remote_traceback
+
+
+def test_failed_run_attaches_partial_report():
+    with pytest.raises(RemoteRankError) as ei:
+        ProcessEngine(3, recv_timeout=10.0).run(_boom)
+    partial = ei.value.partial_report
+    assert partial is not None
+    assert partial.size == 3
+    assert partial.ranks[1].value is None
+    assert partial.ranks[1].error.startswith("ValueError")
+    # Every rank appears, even ones terminated before reporting.
+    assert all(res.error is None or res.value is None
+               for res in partial.ranks)
+
+
+def _hang(comm):
+    if comm.rank == 0:
+        comm.send(b"x" * 64, dst=1, tag=3)
+        return comm.recv(src=1, tag=99)   # never sent
+    return comm.recv(src=0, tag=3)
+
+
+def test_deadlock_detected_as_typed_error():
+    with pytest.raises(DeadlockError) as ei:
+        ProcessEngine(2, recv_timeout=2.0).run(_hang)
+    err = ei.value
+    assert err.rank == 0
+    assert (err.src, err.tag) == (1, 99)
+    assert "likely deadlock" in str(err)
+
+
+def _crashy(comm):
+    comm.compute(1e9)
+    return comm.rank
+
+
+def test_planned_crash_keeps_type_and_time():
+    plan = FaultPlan(seed=1, crash={1: 0.05})
+    with pytest.raises(RankCrashedError) as ei:
+        ProcessEngine(2, NCUBE2, recv_timeout=10.0,
+                      fault_plan=plan).run(_crashy)
+    assert ei.value.rank == 1
+    assert ei.value.at_time == 0.05
+
+
+def _sleepy(comm):
+    if comm.rank == 1:
+        time.sleep(60.0)
+    return comm.rank
+
+
+def test_wall_clock_watchdog_fires():
+    eng = ProcessEngine(2, recv_timeout=None, wall_timeout=2.0)
+    t0 = time.monotonic()
+    with pytest.raises(ProcessWatchdogError) as ei:
+        eng.run(_sleepy)
+    assert time.monotonic() - t0 < 30.0
+    assert ei.value.missing == [1]
+    assert "rank 1" in str(ei.value)
+
+
+def _exiter(comm):
+    if comm.rank == 1:
+        os._exit(17)    # dies without reporting anything
+    return comm.recv(src=1, tag=0)
+
+
+def test_silently_dead_worker_detected():
+    t0 = time.monotonic()
+    with pytest.raises(ProcessWatchdogError) as ei:
+        ProcessEngine(2, recv_timeout=300.0).run(_exiter)
+    # Detection must come from the liveness check, not the full timeout.
+    assert time.monotonic() - t0 < 60.0
+    assert 1 in ei.value.missing
+
+
+def _traced(comm):
+    with comm.phase("p1"):
+        comm.compute(1000.0)
+    comm.send(np.arange(10), dst=(comm.rank + 1) % comm.size, tag=2)
+    got = comm.recv(src=(comm.rank - 1) % comm.size, tag=2)
+    return int(got.sum())
+
+
+def test_trace_merge_matches_virtual_backend():
+    v = Engine(2, NCUBE2).run(_traced, tracer=True)
+    p = ProcessEngine(2, NCUBE2).run(_traced, tracer=True)
+    assert p.trace is not None
+    assert p.trace.size == 2
+    assert v.trace.parallel_time == p.trace.parallel_time
+    for r in range(2):
+        assert [(s.name, s.t0, s.t1) for s in v.trace.phases[r]] == \
+               [(s.name, s.t0, s.t1) for s in p.trace.phases[r]]
+        assert [(s.dst, s.tag, s.nbytes, s.t_begin, s.t_end, s.arrival)
+                for s in v.trace.sends[r]] == \
+               [(s.dst, s.tag, s.nbytes, s.t_begin, s.t_end, s.arrival)
+                for s in p.trace.sends[r]]
+        assert [(e.src, e.tag, e.arrival, e.t_end, e.waited)
+                for e in v.trace.recvs[r]] == \
+               [(e.src, e.tag, e.arrival, e.t_end, e.waited)
+                for e in p.trace.recvs[r]]
+    # Sends and receives stitch by globally unique seq on both backends.
+    assert set(p.trace.sends_by_seq()) >= {e.seq for e in p.trace.all_recvs()}
+
+
+def test_no_shared_memory_leaks_after_runs():
+    before = {f for f in os.listdir("/dev/shm") if f.startswith("repro")}
+    ProcessEngine(2, NCUBE2).run(_traced)
+    with pytest.raises(RemoteRankError):
+        ProcessEngine(3, recv_timeout=10.0).run(_boom)
+    after = {f for f in os.listdir("/dev/shm") if f.startswith("repro")}
+    assert after <= before
+
+
+def test_engine_size_validated():
+    with pytest.raises(ValueError, match="positive"):
+        ProcessEngine(0)

@@ -1,0 +1,93 @@
+"""Shared-memory payload codec: exactness, aliasing, lifetime."""
+
+import os
+
+import numpy as np
+
+from repro.runtime import shm
+
+
+def _leftovers(prefix: str) -> list[str]:
+    try:
+        return [f for f in os.listdir("/dev/shm") if f.startswith(prefix)]
+    except OSError:  # pragma: no cover - non-POSIX fallback
+        return []
+
+
+def test_small_payload_stays_inline():
+    data, block_info = shm.encode({"a": 1, "b": np.arange(4)},
+                                  name_prefix="reprotest")
+    assert block_info is None
+    out = shm.decode(data, block_info)
+    assert out["a"] == 1
+    np.testing.assert_array_equal(out["b"], np.arange(4))
+
+
+def test_large_array_round_trips_bitwise():
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal(5000)          # 40 KB > 16 KiB threshold
+    payload = {"x": a, "meta": ("tag", 3)}
+    data, block_info = shm.encode(payload, name_prefix="reprotest")
+    assert block_info is not None
+    name, descs = block_info
+    assert name.startswith("reprotest")
+    assert len(descs) == 1
+    out = shm.decode(data, block_info)
+    assert out["meta"] == ("tag", 3)
+    assert out["x"].tobytes() == a.tobytes()
+    assert out["x"].dtype == a.dtype
+    assert not _leftovers("reprotest"), "decode must unlink the block"
+
+
+def test_aliased_array_decodes_to_one_object():
+    a = np.ones(4096)                      # 32 KB
+    data, block_info = shm.encode([a, a, {"again": a}],
+                                  name_prefix="reprotest")
+    out = shm.decode(data, block_info)
+    assert out[0] is out[1] is out[2]["again"]
+
+
+def test_noncontiguous_and_structured_payloads():
+    base = np.arange(40000, dtype=np.float64).reshape(200, 200)
+    view = base[::2, ::3]                  # non-contiguous, 53 KB
+    recs = np.zeros(3000, dtype=[("k", "u8"), ("v", "f8")])
+    recs["k"] = np.arange(3000)
+    data, block_info = shm.encode((view, recs), name_prefix="reprotest")
+    # Only the plain float view is extracted; the structured array must
+    # ride the pickle stream (dtype.str cannot carry its fields).
+    assert block_info is not None
+    assert len(block_info[1]) == 1
+    v, r = shm.decode(data, block_info)
+    np.testing.assert_array_equal(v, view)
+    np.testing.assert_array_equal(r, recs)
+
+
+def test_threshold_none_disables_extraction():
+    a = np.ones(1 << 16)
+    data, block_info = shm.encode(a, threshold=None)
+    assert block_info is None
+    np.testing.assert_array_equal(shm.decode(data, block_info), a)
+
+
+def test_object_dtype_never_extracted():
+    a = np.array(["x" * 100, {"k": 1}] * 2000, dtype=object)
+    data, block_info = shm.encode(a, threshold=8)
+    assert block_info is None    # object arrays stay in the pickle path
+    out = shm.decode(data, block_info)
+    assert out[1] == {"k": 1}
+    assert out.dtype == object
+
+
+def test_cleanup_blocks_reclaims_orphans():
+    from multiprocessing import shared_memory
+    prefix = f"reprotestorphan{os.getpid()}"
+    blocks = [shared_memory.SharedMemory(create=True, size=64,
+                                         name=f"{prefix}_{i}")
+              for i in range(3)]
+    for b in blocks:
+        shm._forget(b)   # simulate in-flight ownership transfer
+        b.close()
+    assert len(_leftovers(prefix)) == 3
+    assert shm.cleanup_blocks(prefix) == 3
+    assert not _leftovers(prefix)
+    assert shm.cleanup_blocks(prefix) == 0
