@@ -93,6 +93,9 @@ def _build_sim(args):
         fault_plan=fault_plan,
         reliable=getattr(args, "reliable", False),
         checkpoint_every=getattr(args, "checkpoint_every", None),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        max_restarts=getattr(args, "max_restarts", 3),
+        resume=getattr(args, "resume", False),
         backend=args.backend,
     )
     return particles, profile, fault_plan, sim
@@ -123,13 +126,20 @@ def _cmd_run(args) -> int:
               f"(seed {fault_plan.seed}, drop {fault_plan.drop_rate}, "
               f"dup {fault_plan.dup_rate}, delay {fault_plan.delay_rate}, "
               f"crashes {fault_plan.crash or '-'}, "
-              f"slowdowns {fault_plan.slowdown or '-'})"
+              f"slowdowns {fault_plan.slowdown or '-'}, "
+              f"kills {fault_plan.kill or '-'}, "
+              f"stalls {fault_plan.stall_heartbeat or '-'})"
               + (" | reliable delivery" if args.reliable else "")
               + (f" | checkpoint every {args.checkpoint_every}"
                  if args.checkpoint_every else ""))
+    if args.checkpoint_dir:
+        print(f"checkpoints: {args.checkpoint_dir}"
+              + (" (resuming)" if args.resume else ""))
 
     result = sim.run(steps=args.steps, trace=bool(args.trace_out))
 
+    if result.resumed_from is not None:
+        print(f"\nresumed from checkpointed step {result.resumed_from}")
     print(f"\nvirtual parallel time   {result.parallel_time:10.3f} s")
     print(f"last-step time          {result.last_step_time:10.3f} s")
     print(f"force computations F    {result.force_computations():10d}")
@@ -144,6 +154,12 @@ def _cmd_run(args) -> int:
         for k, v in faults.items():
             print(f"  {k:<26s} {v:10d}")
         print(f"  {'checkpoint_recoveries':<26s} {result.recoveries:10d}")
+    if result.host_metrics is not None and result.recoveries:
+        rb = result.host_metrics.counter("recovery.rollback_steps").value
+        wall = result.host_metrics.histogram("recovery.wall_seconds")
+        print(f"recovery: {result.recoveries} restart(s), "
+              f"{rb} step(s) of progress re-executed, "
+              f"{wall.total:.2f} s real recovery time")
 
     if args.check and args.mode == "potential":
         exact = direct_potentials(particles)
@@ -253,7 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the ack/retransmit recovery layer")
     run.add_argument("--checkpoint-every", type=int, metavar="N",
                      help="checkpoint every N steps; recover rank "
-                          "crashes by rollback instead of failing")
+                          "crashes and worker losses by rollback "
+                          "instead of failing")
+    run.add_argument("--checkpoint-dir", metavar="PATH",
+                     help="durable checkpoint directory (survives the "
+                          "host process; enables --resume)")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from the newest common checkpoint in "
+                          "--checkpoint-dir")
+    run.add_argument("--max-restarts", type=int, default=3, metavar="N",
+                     help="worker-loss respawn budget on the process "
+                          "backend (default 3)")
     run.add_argument("--trace-out", metavar="PATH",
                      help="write a Chrome trace-event JSON of the run "
                           "(open in Perfetto / chrome://tracing)")

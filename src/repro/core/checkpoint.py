@@ -1,28 +1,75 @@
 """Coordinated checkpoint/restart for the parallel simulation.
 
 Recovery model: every rank snapshots its cross-step state (particles,
-measured loads, key boundaries, virtual clock) into a host-side
-:class:`CheckpointStore` at step boundaries.  When a rank crashes
-(:class:`~repro.machine.faults.RankCrashedError`), the host rolls *every*
-rank back to the last step boundary all ranks completed — a coordinated
-global rollback, the textbook recovery for message-passing programs whose
-steps are separated by collective operations — replaces the dead node,
-and re-runs from there.  Because the machine is deterministic, the
-re-executed steps reproduce the fault-free trajectory bitwise.
+measured loads, key boundaries, virtual clock, communication accounting)
+into a :class:`CheckpointStore` at step boundaries.  When a rank crashes
+(:class:`~repro.machine.faults.RankCrashedError`) or a worker process is
+lost (:class:`~repro.runtime.process_engine.WorkerLostError`), the host
+rolls *every* rank back to the last step boundary all ranks completed —
+a coordinated global rollback, the textbook recovery for
+message-passing programs whose steps are separated by collective
+operations — replaces the dead node, and re-runs from there.  Because
+the machine is deterministic, the re-executed steps reproduce the
+fault-free trajectory bitwise.
 
 Snapshots are deep copies taken at a quiescent point (between steps, no
 messages in flight), so no channel state needs saving.
+
+Two stores implement the same API:
+
+* :class:`CheckpointStore` — in-memory, for the thread-per-rank virtual
+  backend (ranks share the host's address space).
+* :class:`DiskCheckpointStore` — durable, for the process backend (and
+  for ``--resume`` across host restarts).  One file per ``(rank,
+  step)``, written atomically (temp file + fsync + rename) with a
+  versioned header and a content digest, so a torn or bit-rotted file
+  is detected on load instead of unpickling garbage; ``keep``-based
+  pruning bounds the directory to the newest levels per rank.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pickle
+import re
+import struct
+import tempfile
 import threading
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Any
 
 import numpy as np
 
 from repro.bh.particles import ParticleSet
+
+#: On-disk checkpoint format version.  Bumped whenever the pickled
+#: payload or the header layout changes incompatibly; files written by
+#: a *newer* version are rejected with :class:`CheckpointVersionError`.
+DISK_FORMAT_VERSION = 1
+
+#: File magic of one checkpoint file (header = magic + u16 version +
+#: 16-byte blake2b digest of the payload, then the pickled payload).
+CHECKPOINT_MAGIC = b"RPCKPT"
+
+_HEADER = struct.Struct(f"<{len(CHECKPOINT_MAGIC)}sH16s")
+
+_FILE_RE = re.compile(r"^r(\d{4})\.s(\d{8})\.ckpt$")
+
+META_NAME = "meta.json"
+
+
+class CheckpointError(RuntimeError):
+    """Base class of durable-checkpoint failures."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed its magic or content-digest check."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint file was written by an incompatible format version."""
 
 
 def _copy_array(a: np.ndarray | None) -> np.ndarray | None:
@@ -38,7 +85,10 @@ class RankCheckpoint:
     """One rank's cross-step state at a step boundary.
 
     ``step`` is the index of the *next* step to execute on restore; all
-    ``results`` entries cover steps ``0 .. step-1``.
+    ``results`` entries cover steps ``0 .. step-1``.  ``comm_stats`` and
+    ``metrics`` carry the rank's communication accounting so a
+    recovered run reports totals bitwise identical to an uninterrupted
+    one (they are ``None`` in pre-recovery-era checkpoints).
     """
 
     rank: int
@@ -52,6 +102,14 @@ class RankCheckpoint:
     clock_now: float
     phase_seconds: dict[str, float]
     results: list[Any] = field(default_factory=list)
+    comm_stats: Any = None      # CommStats at the boundary
+    metrics: Any = None         # MetricsRegistry at the boundary
+    #: Comm sequence counters at the boundary: collective tag counter
+    #: and reliable-layer transmission id.  Restored so a recovered
+    #: run's tag stream continues where the checkpoint left off and
+    #: per-tag byte accounting matches an uninterrupted run exactly.
+    coll_seq: int = 0
+    xmit_seq: int = 0
 
 
 class CheckpointStore:
@@ -87,13 +145,195 @@ class CheckpointStore:
 
     def latest_common_step(self) -> int | None:
         """Newest step boundary every rank has a checkpoint for."""
-        with self._lock:
-            common: set[int] | None = None
-            for levels in self._by_rank.values():
-                steps = set(levels)
-                common = steps if common is None else common & steps
-            return max(common) if common else None
+        common: set[int] | None = None
+        for r in range(self.size):
+            steps = set(self.steps_for(r))
+            common = steps if common is None else common & steps
+        return max(common) if common else None
 
     def get(self, rank: int, step: int) -> RankCheckpoint:
         with self._lock:
             return self._by_rank[rank][step]
+
+    def discard_step(self, step: int) -> None:
+        """Drop one step level for every rank (e.g. a corrupt level, so
+        recovery can fall back to the previous common boundary)."""
+        with self._lock:
+            for levels in self._by_rank.values():
+                levels.pop(step, None)
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """Durable checkpoint store: one versioned file per (rank, step).
+
+    Write protocol (crash-safe on POSIX): pickle the checkpoint, frame
+    it with ``CHECKPOINT_MAGIC + format version + blake2b digest``,
+    write to a temp file in the same directory, ``fsync``, then
+    atomically ``rename`` into place (and fsync the directory), so a
+    reader never observes a half-written checkpoint.  Each rank prunes
+    only its own files, so concurrent rank *processes* writing into one
+    directory need no cross-process lock.
+
+    The in-memory :class:`CheckpointStore` API is preserved: ``save``
+    also caches in memory (reads in the writing process stay cheap),
+    while ``steps_for``/``latest_common_step``/``get`` treat the
+    *directory* as the source of truth — checkpoints written by other
+    processes (the rank workers of the process backend) are visible to
+    the host without any message traffic.
+    """
+
+    def __init__(self, root: str | os.PathLike, size: int, keep: int = 2,
+                 fsync: bool = True):
+        super().__init__(size, keep)
+        self.root = os.fspath(root)
+        self.fsync = bool(fsync)
+        os.makedirs(self.root, exist_ok=True)
+        self._init_meta()
+
+    # ------------------------------------------------------------- layout
+    def _path(self, rank: int, step: int) -> str:
+        return os.path.join(self.root, f"r{rank:04d}.s{step:08d}.ckpt")
+
+    def _init_meta(self) -> None:
+        path = os.path.join(self.root, META_NAME)
+        if os.path.exists(path):
+            with open(path) as fh:
+                meta = json.load(fh)
+            if meta.get("format_version", 0) > DISK_FORMAT_VERSION:
+                raise CheckpointVersionError(
+                    f"checkpoint directory {self.root!r} was written by "
+                    f"format version {meta['format_version']}; this build "
+                    f"reads up to version {DISK_FORMAT_VERSION} — upgrade "
+                    f"repro to resume it"
+                )
+            if meta.get("size") != self.size:
+                raise ValueError(
+                    f"checkpoint directory {self.root!r} holds a "
+                    f"{meta.get('size')}-rank run; cannot open it for "
+                    f"{self.size} ranks"
+                )
+            return
+        meta = {"format_version": DISK_FORMAT_VERSION, "size": self.size,
+                "keep": self.keep}
+        self._atomic_write(path, json.dumps(meta, indent=2).encode())
+
+    def _atomic_write(self, final_path: str, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            os.replace(tmp, final_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if self.fsync:
+            # Persist the rename itself: fsync the directory entry.
+            try:
+                dfd = os.open(self.root, os.O_RDONLY)
+            except OSError:  # pragma: no cover - exotic filesystems
+                return
+            try:
+                os.fsync(dfd)
+            finally:
+                os.close(dfd)
+
+    # ---------------------------------------------------------------- API
+    def save(self, ckpt: RankCheckpoint) -> None:
+        payload = pickle.dumps(ckpt, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = blake2b(payload, digest_size=16).digest()
+        header = _HEADER.pack(CHECKPOINT_MAGIC, DISK_FORMAT_VERSION, digest)
+        self._atomic_write(self._path(ckpt.rank, ckpt.step),
+                           header + payload)
+        super().save(ckpt)          # memory cache (+ memory pruning)
+        # Disk pruning mirrors the memory policy, per writing rank.
+        steps = self._disk_steps(ckpt.rank)
+        while len(steps) > self.keep:
+            try:
+                os.unlink(self._path(ckpt.rank, steps.pop(0)))
+            except FileNotFoundError:  # pragma: no cover - racing prune
+                pass
+
+    def _disk_steps(self, rank: int) -> list[int]:
+        steps = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        for name in names:
+            m = _FILE_RE.match(name)
+            if m and int(m.group(1)) == rank:
+                steps.append(int(m.group(2)))
+        return sorted(steps)
+
+    def steps_for(self, rank: int) -> list[int]:
+        return self._disk_steps(rank)
+
+    def get(self, rank: int, step: int) -> RankCheckpoint:
+        with self._lock:
+            cached = self._by_rank[rank].get(step)
+        if cached is not None:
+            return cached
+        return self._load(self._path(rank, step))
+
+    def _load(self, path: str) -> RankCheckpoint:
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            raise KeyError(path) from None
+        if len(blob) < _HEADER.size:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r} is truncated "
+                f"({len(blob)} bytes < {_HEADER.size}-byte header)"
+            )
+        magic, version, digest = _HEADER.unpack(blob[:_HEADER.size])
+        if magic != CHECKPOINT_MAGIC:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r} has bad magic {magic!r} — not a "
+                f"repro checkpoint file"
+            )
+        if version > DISK_FORMAT_VERSION:
+            raise CheckpointVersionError(
+                f"checkpoint {path!r} is format version {version}; this "
+                f"build reads up to version {DISK_FORMAT_VERSION} — "
+                f"upgrade repro to read it"
+            )
+        payload = blob[_HEADER.size:]
+        actual = blake2b(payload, digest_size=16).digest()
+        if actual != digest:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r} failed its content-digest check "
+                f"(stored {digest.hex()}, computed {actual.hex()}) — "
+                f"file is corrupt"
+            )
+        return pickle.loads(payload)
+
+    def discard_step(self, step: int) -> None:
+        super().discard_step(step)
+        for rank in range(self.size):
+            try:
+                os.unlink(self._path(rank, step))
+            except FileNotFoundError:
+                pass
+
+    # -------------------------------------------------------- transport
+    # The process backend ships the store to rank workers (by fork
+    # inheritance or pickle); only the directory coordinates matter —
+    # locks and memory caches are process-local.
+    def __getstate__(self) -> dict[str, Any]:
+        return {"root": self.root, "size": self.size, "keep": self.keep,
+                "fsync": self.fsync}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.root = state["root"]
+        self.size = state["size"]
+        self.keep = state["keep"]
+        self.fsync = state["fsync"]
+        self._lock = threading.Lock()
+        self._by_rank = {r: {} for r in range(self.size)}

@@ -27,6 +27,10 @@ Scheme-specific decomposition:
 
 from __future__ import annotations
 
+import copy
+import shutil
+import tempfile
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,7 +40,10 @@ from repro.bh.morton import morton_keys
 from repro.bh.particles import Box, ParticleSet
 from repro.core.assignment import clusters_of_rank, spsa_assignment
 from repro.core.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
     CheckpointStore,
+    DiskCheckpointStore,
     RankCheckpoint,
     _copy_array,
     _copy_particles,
@@ -95,6 +102,12 @@ class SimulationResult:
     velocities: np.ndarray
     steps: list[list[StepResult]]   # [step][rank]
     recoveries: int = 0        # crash-recovery rollbacks performed
+    #: Step boundary this run resumed from (``--resume``), else None.
+    resumed_from: int | None = None
+    #: Host-side registry (``recovery.*``): restarts, rollback steps
+    #: lost, recovery wall/quiesce seconds.  None when checkpointing
+    #: was off.
+    host_metrics: MetricsRegistry | None = None
 
     @property
     def parallel_time(self) -> float:
@@ -106,8 +119,12 @@ class SimulationResult:
         return self.run.trace
 
     def metrics_summary(self) -> MetricsRegistry:
-        """Machine-wide merged metrics registry of the (final) run."""
-        return self.run.metrics_summary()
+        """Machine-wide merged metrics registry of the (final) run,
+        host-side recovery metrics included."""
+        merged = self.run.metrics_summary()
+        if self.host_metrics is not None:
+            merged.merge_from(self.host_metrics)
+        return merged
 
     def fault_summary(self) -> dict[str, int]:
         """Injected-fault / recovery counters of the (final) run."""
@@ -242,6 +259,13 @@ class _RankState:
                  results: list[StepResult]) -> RankCheckpoint:
         """Deep-copy everything carried across steps (quiescent point)."""
         comm = self.comm
+        # Communication accounting rides along so a recovered run
+        # reports totals bitwise identical to an uninterrupted one.
+        # The endpoint's duplicate-suppression count is normally folded
+        # into the stats only at end of run — fold the running value
+        # here so the boundary copy is self-contained.
+        stats = copy.deepcopy(comm.stats)
+        stats.duplicates_suppressed += comm.endpoint.duplicates_suppressed
         return RankCheckpoint(
             rank=comm.rank, step=next_step,
             particles=_copy_particles(self.particles),
@@ -253,6 +277,10 @@ class _RankState:
             clock_now=comm.clock.now,
             phase_seconds=dict(comm.clock.timings.seconds),
             results=list(results),
+            comm_stats=stats,
+            metrics=copy.deepcopy(comm.metrics),
+            coll_seq=getattr(comm, "_coll_seq", 0),
+            xmit_seq=comm._xmit_seq,
         )
 
     def restore(self, ckpt: RankCheckpoint) -> None:
@@ -266,6 +294,16 @@ class _RankState:
         self._keys = None
         self.comm.clock.now = ckpt.clock_now
         self.comm.clock.timings = PhaseTimings(dict(ckpt.phase_seconds))
+        if ckpt.comm_stats is not None and ckpt.metrics is not None:
+            # Deep-copied: an in-memory checkpoint may seed several
+            # restore attempts and must stay pristine.
+            self.comm.adopt_accounting(copy.deepcopy(ckpt.comm_stats),
+                                       copy.deepcopy(ckpt.metrics))
+        # Continue the tag / transmission-id streams where the boundary
+        # left them, so replayed traffic lands in the same per-tag
+        # buckets as an uninterrupted run.
+        self.comm._coll_seq = ckpt.coll_seq
+        self.comm._xmit_seq = ckpt.xmit_seq
 
     # ------------------------------------------------------ morton keys
     def _rank_keys(self) -> np.ndarray:
@@ -474,12 +512,19 @@ def _rank_main(comm: Comm, config: SchemeConfig, root: Box, bits: int,
                checkpoint_every: int | None, store: CheckpointStore | None,
                shard: ParticleSet | None,
                resume_from: RankCheckpoint | None = None):
+    from repro.runtime.supervision import notify_step
     if resume_from is not None:
         state = _RankState(comm, config, root, bits,
                            ParticleSet.empty(root.dims))
         state.restore(resume_from)
         results = list(resume_from.results)
         start = resume_from.step
+        if comm.tracer is not None:
+            # Zero-width marker at the restored clock: where this
+            # attempt rejoined the trajectory.
+            comm.tracer.phase_span(comm.rank, "recovery:restore",
+                                   comm.now, comm.now, depth=0,
+                                   cat="recovery")
     else:
         state = _RankState(comm, config, root, bits, shard)
         results = []
@@ -489,6 +534,10 @@ def _rank_main(comm: Comm, config: SchemeConfig, root: Box, bits: int,
             # roll back to the initial deal.
             store.save(state.snapshot(0, results))
     for i in range(start, steps):
+        # Liveness/fault hook: stamps the supervision board with this
+        # rank's step (and executes planned kill/stall actions) on the
+        # process backend; no-op everywhere else.
+        notify_step(i)
         t0 = comm.now
         sr = state.step(i, dt)
         sr.virtual_seconds = comm.now - t0
@@ -536,9 +585,30 @@ class ParallelBarnesHut:
         Enable the ack/retransmit recovery layer (``True`` for default
         parameters, or a :class:`~repro.machine.faults.ReliableConfig`).
     checkpoint_every:
-        Snapshot every rank's cross-step state at this step cadence; on a
-        rank crash the run rolls back to the newest common checkpoint and
-        re-executes (without it a crash is fatal).  Virtual backend only.
+        Snapshot every rank's cross-step state at this step cadence; on
+        a rank crash or worker loss the run rolls back to the newest
+        common checkpoint and re-executes (without it such failures are
+        fatal).  On the virtual backend snapshots live in host memory;
+        on the process backend they are durable on disk
+        (:class:`~repro.core.checkpoint.DiskCheckpointStore`) — under
+        ``checkpoint_dir`` when given, else a temporary directory
+        removed when the run ends.
+    checkpoint_dir:
+        Directory for durable checkpoints (either backend).  Survives
+        the host process, enabling ``resume=True`` in a later run.
+    checkpoint_keep:
+        Newest checkpoint levels retained per rank (default 2).
+    max_restarts:
+        Worker-loss respawn budget per run (process backend): each
+        SIGKILL'd / silently-exited / heartbeat-stalled worker costs
+        one; planned virtual crashes are exempt (their fault is spent
+        on restart).
+    restart_backoff:
+        First respawn delay in real seconds; doubles per restart
+        (capped at 10 s).
+    resume:
+        Start from the newest common checkpoint in ``checkpoint_dir``
+        instead of dealing particles afresh.
     backend:
         ``"virtual"`` (default) runs every rank as a thread of one
         interpreter on the virtual machine; ``"process"`` runs one OS
@@ -547,6 +617,10 @@ class ParallelBarnesHut:
         counters are bitwise identical across backends, the process
         backend just finishes in less wall-clock time on a multi-core
         host.
+    engine_options:
+        Extra keyword arguments forwarded to the
+        :class:`~repro.runtime.ProcessEngine` constructor (e.g.
+        ``heartbeat_timeout``); process backend only.
     """
 
     def __init__(self, particles: ParticleSet, config: SchemeConfig,
@@ -556,7 +630,13 @@ class ParallelBarnesHut:
                  fault_plan: FaultPlan | None = None,
                  reliable: ReliableConfig | bool | None = None,
                  checkpoint_every: int | None = None,
-                 backend: str = "virtual"):
+                 checkpoint_dir: str | None = None,
+                 checkpoint_keep: int = 2,
+                 max_restarts: int = 3,
+                 restart_backoff: float = 0.25,
+                 resume: bool = False,
+                 backend: str = "virtual",
+                 engine_options: dict | None = None):
         if particles.n == 0:
             raise ValueError("cannot simulate zero particles")
         if p < 1:
@@ -588,14 +668,32 @@ class ParallelBarnesHut:
             raise ValueError(
                 f"backend must be 'virtual' or 'process', got {backend!r}"
             )
-        if backend == "process" and checkpoint_every is not None:
-            # The checkpoint store is shared host-side state; rank
-            # processes cannot write into it.
-            raise ValueError(
-                "checkpoint_every requires backend='virtual' "
-                "(the checkpoint store lives in the host process)"
-            )
         self.backend = backend
+        self.checkpoint_dir = checkpoint_dir
+        if checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
+        self.checkpoint_keep = checkpoint_keep
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        self.max_restarts = max_restarts
+        if restart_backoff < 0:
+            raise ValueError("restart_backoff must be non-negative")
+        self.restart_backoff = restart_backoff
+        if resume and checkpoint_dir is None:
+            raise ValueError(
+                "resume=True needs checkpoint_dir (a durable checkpoint "
+                "directory to resume from)"
+            )
+        self.resume = resume
+        if engine_options and backend != "process":
+            raise ValueError("engine_options apply to backend='process'")
+        self.engine_options = dict(engine_options or {})
+        if (fault_plan is not None and fault_plan.any_process_faults
+                and backend != "process"):
+            raise ValueError(
+                "fault plan demands real process actions (kill / "
+                "stall_heartbeat); they need backend='process'"
+            )
 
     def _shards(self) -> list[ParticleSet]:
         keys = morton_keys(self.particles.positions, self.root.lo,
@@ -603,6 +701,44 @@ class ParallelBarnesHut:
         order = np.argsort(keys, kind="stable")
         chunks = np.array_split(order, self.p)
         return [self.particles.subset(c) for c in chunks]
+
+    def _make_store(self) -> tuple[CheckpointStore | None, str | None]:
+        """Build the checkpoint store; returns ``(store, tmp_dir)`` with
+        ``tmp_dir`` set when a throwaway directory must be removed after
+        the run."""
+        want = (self.checkpoint_every is not None
+                or self.checkpoint_dir is not None)
+        if not want:
+            return None, None
+        if self.checkpoint_dir is not None:
+            return DiskCheckpointStore(self.checkpoint_dir, self.p,
+                                       keep=self.checkpoint_keep), None
+        if self.backend == "process":
+            # Rank processes cannot write into host memory: durability
+            # through a throwaway on-disk store.
+            tmp = tempfile.mkdtemp(prefix="repro-ckpt-")
+            return DiskCheckpointStore(tmp, self.p,
+                                       keep=self.checkpoint_keep), tmp
+        return CheckpointStore(self.p, keep=self.checkpoint_keep), None
+
+    def _recovery_args(self, store: CheckpointStore
+                       ) -> tuple[int, list[tuple]] | None:
+        """Restart state from the newest intact common checkpoint.
+
+        A corrupt level (torn by the crash that triggered recovery, or
+        bit-rotted on disk) is discarded and the previous common
+        boundary tried; the discard shrinks the step set, so the loop
+        terminates.
+        """
+        while True:
+            s = store.latest_common_step()
+            if s is None:
+                return None
+            try:
+                return s, [(None, store.get(r, s))
+                           for r in range(self.p)]
+            except CheckpointCorruptError:
+                store.discard_step(s)
 
     def run(self, steps: int = 1, dt: float | None = None,
             trace: bool = False) -> SimulationResult:
@@ -613,42 +749,104 @@ class ParallelBarnesHut:
         if steps < 1:
             raise ValueError("need at least one step")
         plan = self.fault_plan
-        store = (CheckpointStore(self.p)
-                 if self.checkpoint_every is not None else None)
-        rank_args: list[tuple] = [(shard, None)
-                                  for shard in self._shards()]
+        store, tmp_dir = self._make_store()
+        host_metrics: MetricsRegistry | None = None
+        if store is not None:
+            host_metrics = MetricsRegistry()
+            # Pre-create the recovery counters so a clean checkpointed
+            # run reports explicit zeros, not absence.
+            host_metrics.counter("recovery.restarts")
+            host_metrics.counter("recovery.rollback_steps")
+        resumed_from: int | None = None
+        if self.resume:
+            recovered = self._recovery_args(store)
+            if recovered is None:
+                raise CheckpointError(
+                    f"resume requested but {self.checkpoint_dir!r} holds "
+                    f"no common checkpoint across all {self.p} ranks"
+                )
+            resumed_from, rank_args = recovered
+            if resumed_from > steps:
+                raise ValueError(
+                    f"checkpoint is at step {resumed_from}, beyond the "
+                    f"requested {steps} step(s); raise steps to resume"
+                )
+        else:
+            rank_args = [(shard, None) for shard in self._shards()]
         recoveries = 0
+        restarts = 0
         if self.backend == "process":
-            from repro.runtime import ProcessEngine
+            from repro.runtime import ProcessEngine, WorkerLostError
             engine_cls = ProcessEngine
+            recoverable: tuple = (RankCrashedError, WorkerLostError)
+            engine_kw = self.engine_options
         else:
             engine_cls = Engine
-        while True:
-            engine = engine_cls(self.p, self.profile,
-                                recv_timeout=self.recv_timeout,
-                                fault_plan=plan, reliable=self.reliable)
-            try:
-                # A fresh tracer per attempt: after a crash rollback the
-                # re-execution's trace replaces the aborted one.
-                report = engine.run(
-                    _rank_main, self.config, self.root, self.bits, steps,
-                    dt, self.checkpoint_every, store,
-                    rank_args=rank_args,
-                    tracer=Tracer(self.p) if trace else None,
-                )
-                break
-            except RankCrashedError as crash:
-                if store is None:
-                    raise
-                s = store.latest_common_step()
-                if s is None:
-                    raise
-                # Replace the failed node (its planned crash is spent) and
-                # roll every rank back to the newest common step boundary.
-                plan = plan.without_crash(crash.rank)
-                rank_args = [(None, store.get(r, s))
-                             for r in range(self.p)]
-                recoveries += 1
+            recoverable = (RankCrashedError,)
+            engine_kw = {}
+        try:
+            while True:
+                engine = engine_cls(self.p, self.profile,
+                                    recv_timeout=self.recv_timeout,
+                                    fault_plan=plan,
+                                    reliable=self.reliable, **engine_kw)
+                try:
+                    # A fresh tracer per attempt: after a crash rollback
+                    # the re-execution's trace replaces the aborted one.
+                    report = engine.run(
+                        _rank_main, self.config, self.root, self.bits,
+                        steps, dt, self.checkpoint_every, store,
+                        rank_args=rank_args,
+                        tracer=Tracer(self.p) if trace else None,
+                    )
+                    break
+                except recoverable as failure:
+                    if store is None:
+                        raise
+                    t_rec = time.monotonic()
+                    recovered = self._recovery_args(store)
+                    if recovered is None:
+                        raise
+                    if isinstance(failure, RankCrashedError):
+                        # Replace the failed node; its planned crash is
+                        # spent and must not fire in the re-execution.
+                        plan = plan.without_crash(failure.rank)
+                    else:
+                        # Real worker loss: bounded respawn budget with
+                        # exponential backoff before the next attempt.
+                        if restarts >= self.max_restarts:
+                            raise
+                        restarts += 1
+                        if plan is not None:
+                            plan = plan.without_process_faults(
+                                failure.rank)
+                        time.sleep(min(
+                            self.restart_backoff * 2.0 ** (restarts - 1),
+                            10.0))
+                    s, rank_args = recovered
+                    # Rollback depth: furthest boundary any rank had
+                    # durably reached beyond the common restart point
+                    # (plus the failing attempt's own progress reports).
+                    furthest = max(
+                        (sf[-1] for sf in (store.steps_for(r)
+                                           for r in range(self.p)) if sf),
+                        default=s)
+                    for d in getattr(failure, "diagnostics", []) or []:
+                        furthest = max(furthest, d.last_step)
+                    recoveries += 1
+                    host_metrics.counter("recovery.restarts").inc()
+                    host_metrics.counter("recovery.rollback_steps").inc(
+                        max(0, furthest - s))
+                    quiesce = getattr(engine, "last_quiesce_seconds",
+                                      None) or 0.0
+                    host_metrics.histogram(
+                        "recovery.quiesce_seconds").observe(quiesce)
+                    host_metrics.histogram(
+                        "recovery.wall_seconds").observe(
+                        quiesce + time.monotonic() - t_rec)
+        finally:
+            if tmp_dir is not None:
+                shutil.rmtree(tmp_dir, ignore_errors=True)
 
         n = self.particles.n
         d = self.particles.dims
@@ -672,4 +870,5 @@ class ParallelBarnesHut:
             run=report, config=self.config, values=values,
             positions=positions, velocities=velocities,
             steps=step_results, recoveries=recoveries,
+            resumed_from=resumed_from, host_metrics=host_metrics,
         )

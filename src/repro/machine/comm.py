@@ -187,6 +187,22 @@ class Comm:
         self._xmit_seq = 0
         self.slowdown = injector.slowdown(rank) if injector else 1.0
 
+    def adopt_accounting(self, stats: CommStats,
+                         metrics: MetricsRegistry) -> None:
+        """Replace this comm's accounting with checkpointed state.
+
+        Rollback recovery restores a rank's communication statistics and
+        metrics from the last checkpoint so a recovered run reports the
+        same totals as an uninterrupted one.  The cached histogram
+        handles must be rebound to the adopted registry — they are the
+        hot-path shortcuts around registry lookups.
+        """
+        self.stats = stats
+        self.metrics = metrics
+        self._m_msg_bytes = metrics.histogram("comm.msg_bytes",
+                                              bounds=BYTE_BUCKETS)
+        self._m_wait = metrics.histogram("comm.recv_wait_seconds")
+
     # ----------------------------------------------------------------- time
     def compute(self, flops: float, phase: str | None = None) -> None:
         """Charge ``flops`` floating-point operations of local work.

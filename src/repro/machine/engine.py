@@ -223,6 +223,11 @@ class Engine:
         self.profile = profile
         self.cost = CostModel(profile, size)
         self.recv_timeout = recv_timeout
+        if fault_plan is not None and fault_plan.any_process_faults:
+            raise ValueError(
+                "fault plan demands real process actions (kill / "
+                "stall_heartbeat); only backend='process' can execute them"
+            )
         self.fault_plan = fault_plan
         if reliable is True:
             reliable = ReliableConfig()
@@ -290,10 +295,12 @@ class Engine:
             t.join()
 
         for r in range(self.size):
-            comms[r].stats.duplicates_suppressed = \
+            # += because a checkpoint restore may have seeded the
+            # counter with suppressions from before a rollback boundary.
+            comms[r].stats.duplicates_suppressed += \
                 comms[r].endpoint.duplicates_suppressed
-            comms[r].metrics.gauge("mailbox.max_pending").set(
-                comms[r].endpoint.max_pending)
+            g = comms[r].metrics.gauge("mailbox.max_pending")
+            g.set(max(g.value, comms[r].endpoint.max_pending))
 
         def build_report(trace_done: bool) -> RunReport:
             trace = None

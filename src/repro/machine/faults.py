@@ -13,7 +13,13 @@ virtual network and processors should exhibit:
 * **rank crash** — a rank's virtual clock trips a deadline and the rank
   dies at virtual time ``T`` (:class:`RankCrashedError`);
 * **rank slowdown** — a rank's effective ``flops_per_second`` is divided
-  by a factor, as if the node were thermally throttled or oversubscribed.
+  by a factor, as if the node were thermally throttled or oversubscribed;
+* **process kill** — on the process backend only, a rank worker
+  SIGKILLs itself at the start of real step ``k`` (``kill``), modelling
+  an OOM kill or node loss that the supervisor must recover from;
+* **heartbeat stall** — on the process backend only, a rank worker
+  stops heartbeating at step ``k`` and hangs (``stall_heartbeat``),
+  modelling a livelocked or swapping node.
 
 Every decision is a pure function of ``(plan.seed, src, dst, tag, n)``
 where ``n`` is a per-channel transmission counter kept by the *sender's*
@@ -99,6 +105,12 @@ class FaultPlan:
     slowdown:
         ``rank -> factor >= 1`` dividing that rank's effective
         ``flops_per_second``.
+    kill:
+        ``rank -> step`` at which that rank's *worker process* SIGKILLs
+        itself (process backend only; the virtual backend rejects it).
+    stall_heartbeat:
+        ``rank -> step`` at which that rank's worker stops heartbeating
+        and hangs (process backend only).
     duplicate_first:
         Optional ``(src, dst, tag)`` channel whose *first* transmission
         is duplicated exactly once — the deterministic "one duplicated
@@ -114,6 +126,8 @@ class FaultPlan:
     crash: dict[int, float] = field(default_factory=dict)
     slowdown: dict[int, float] = field(default_factory=dict)
     duplicate_first: tuple[int, int, int] | None = None
+    kill: dict[int, int] = field(default_factory=dict)
+    stall_heartbeat: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self):
         for name in ("drop_rate", "dup_rate", "delay_rate"):
@@ -139,6 +153,15 @@ class FaultPlan:
             self.duplicate_first = tuple(
                 int(x) for x in self.duplicate_first
             )
+        self.kill = {int(r): int(s) for r, s in self.kill.items()}
+        self.stall_heartbeat = {int(r): int(s)
+                                for r, s in self.stall_heartbeat.items()}
+        for name in ("kill", "stall_heartbeat"):
+            for r, s in getattr(self, name).items():
+                if s < 0:
+                    raise ValueError(
+                        f"{name} step for rank {r} is negative"
+                    )
 
     # ------------------------------------------------------------- queries
     @property
@@ -147,6 +170,12 @@ class FaultPlan:
                 or self.delay_rate > 0
                 or self.duplicate_first is not None)
 
+    @property
+    def any_process_faults(self) -> bool:
+        """True if the plan demands real OS-process actions (process
+        backend only — the virtual machine cannot execute them)."""
+        return bool(self.kill) or bool(self.stall_heartbeat)
+
     def matches_tag(self, tag: int) -> bool:
         return self.tags is None or tag in self.tags
 
@@ -154,6 +183,16 @@ class FaultPlan:
         """The plan after ``rank`` has been restarted (its crash spent)."""
         remaining = {r: t for r, t in self.crash.items() if r != rank}
         return replace(self, crash=remaining)
+
+    def without_process_faults(self, rank: int) -> "FaultPlan":
+        """The plan after ``rank``'s worker was respawned: its kill and
+        heartbeat-stall actions are spent and must not fire again."""
+        return replace(
+            self,
+            kill={r: s for r, s in self.kill.items() if r != rank},
+            stall_heartbeat={r: s for r, s in self.stall_heartbeat.items()
+                             if r != rank},
+        )
 
     # ------------------------------------------------------- serialization
     def to_dict(self) -> dict[str, Any]:
@@ -168,6 +207,9 @@ class FaultPlan:
             "slowdown": {str(r): f for r, f in self.slowdown.items()},
             "duplicate_first": (list(self.duplicate_first)
                                 if self.duplicate_first else None),
+            "kill": {str(r): s for r, s in self.kill.items()},
+            "stall_heartbeat": {str(r): s
+                                for r, s in self.stall_heartbeat.items()},
         }
 
     @classmethod
@@ -227,7 +269,8 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan, size: int):
         self.plan = plan
         self.size = size
-        for r in list(plan.crash) + list(plan.slowdown):
+        for r in (list(plan.crash) + list(plan.slowdown)
+                  + list(plan.kill) + list(plan.stall_heartbeat)):
             if not 0 <= r < size:
                 raise ValueError(
                     f"fault plan names rank {r}, machine has {size}"

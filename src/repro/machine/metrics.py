@@ -24,6 +24,14 @@ Metric names used by the machine and the simulation driver:
 ``sim.step_seconds``          histogram of per-rank per-step virtual time
 ``sim.particles_shipped``     counter, particles sent to another owner
 ``sim.particles_moved_in``    counter, particles gained in rebalancing
+``recovery.restarts``         counter, crash/worker-loss recoveries (host)
+``recovery.rollback_steps``   counter, step progress lost to rollbacks
+``recovery.wall_seconds``     histogram, real seconds per recovery
+``recovery.quiesce_seconds``  histogram, real seconds quiescing workers
+
+The ``recovery.*`` family is host-side (kept by the simulation driver,
+not any rank) and measures *real* time — recovery is a property of the
+physical run, invisible to virtual clocks.
 """
 
 from __future__ import annotations

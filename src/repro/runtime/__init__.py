@@ -12,21 +12,35 @@ real multi-core host-time speedup on top.
 
 * :class:`~repro.runtime.process_engine.ProcessEngine` — drop-in
   engine with the :class:`~repro.machine.engine.Engine` ``RunReport``
-  contract.
+  contract, supervising its workers through heartbeats and exit codes.
 * :class:`~repro.runtime.process_transport.ProcessTransport` — the
   queue + shared-memory message transport.
+* :mod:`~repro.runtime.supervision` — heartbeat board, exit-code
+  classification and restart policy backing crash recovery.
 """
 
 from repro.runtime.process_engine import (
     ProcessEngine,
     ProcessWatchdogError,
     RemoteRankError,
+    WorkerLostError,
 )
 from repro.runtime.process_transport import ProcessTransport
+from repro.runtime.supervision import (
+    HeartbeatBoard,
+    RankDiagnostics,
+    RestartPolicy,
+    classify_exit,
+)
 
 __all__ = [
+    "HeartbeatBoard",
     "ProcessEngine",
     "ProcessTransport",
     "ProcessWatchdogError",
+    "RankDiagnostics",
     "RemoteRankError",
+    "RestartPolicy",
+    "WorkerLostError",
+    "classify_exit",
 ]

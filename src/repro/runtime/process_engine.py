@@ -21,9 +21,20 @@ survivors, reconstructs typed errors (``RankCrashedError``,
 ``DeadlockError``) where recovery logic depends on the type, wraps
 everything else in :class:`RemoteRankError`, and routes the lot through
 the shared :func:`~repro.machine.engine.raise_primary_error` root-cause
-selection with a well-formed partial report attached.  A host-side
-wall-clock watchdog (:class:`ProcessWatchdogError`) covers the failure
-mode threads cannot have: a worker process dying without a word.
+selection with a well-formed partial report attached.
+
+Supervision covers the failure modes threads cannot have: every worker
+heartbeats into a shared :class:`~repro.runtime.supervision.HeartbeatBoard`
+and the host's supervisor loop convicts a rank that (a) exited without
+reporting (exit-code classified: SIGKILL, segfault, plain exit) or
+(b) is alive but has not heartbeat within ``heartbeat_timeout`` — both
+raise :class:`WorkerLostError`, the typed, rank-tagged signal the
+checkpoint/rollback recovery in :mod:`repro.core.simulation` catches to
+respawn workers and restart from the latest durable checkpoint.  A
+wall-clock watchdog (:class:`ProcessWatchdogError`) remains the
+backstop for whole-run hangs, now with per-rank diagnostics (exit
+codes, heartbeat ages, last reported steps) so an unrecoverable
+failure is debuggable from the exception alone.
 """
 
 from __future__ import annotations
@@ -50,7 +61,9 @@ from repro.machine.faults import (
 from repro.machine.profiles import ZERO_COST
 from repro.machine.trace import Trace, Tracer
 from repro.runtime import shm as _shm_codec
+from repro.runtime import supervision as _sup
 from repro.runtime.process_transport import ProcessTransport
+from repro.runtime.supervision import HeartbeatBoard, RankDiagnostics
 
 #: Seq-counter stride per rank: each worker numbers its messages from
 #: ``rank << SEQ_SHIFT``, so seqs are globally unique (trace stitching
@@ -81,22 +94,69 @@ class ProcessWatchdogError(RuntimeError):
     The process analogue of :class:`~repro.machine.comm.DeadlockError`:
     it fires when a worker can no longer report anything — killed by the
     OS, wedged outside a receive, or stuck in native code.  Carries the
-    ranks that never reported and which of them were still alive.
+    ranks that never reported, which of them were still alive, and (when
+    the supervisor gathered them) per-rank :class:`RankDiagnostics`
+    with exit codes, heartbeat ages and last reported steps.
     """
 
     def __init__(self, missing: list[int], alive: list[int],
-                 timeout: float):
+                 timeout: float,
+                 diagnostics: list[RankDiagnostics] | None = None,
+                 header: str | None = None):
         self.missing = list(missing)
         self.alive = list(alive)
-        lines = [
-            f"process backend: gave up after {timeout}s with "
-            f"{len(missing)} rank(s) unreported — likely deadlock or "
-            f"killed worker"
-        ]
-        for r in missing:
-            state = "still running" if r in alive else "process exited"
-            lines.append(f"  rank {r}: no result; {state}")
+        self.timeout = timeout
+        self.diagnostics = list(diagnostics) if diagnostics else []
+        #: Real seconds the host spent quiescing the run (terminating
+        #: workers, draining queues, sweeping shm); filled in by the
+        #: engine's teardown so recovery can report it.
+        self.quiesce_seconds: float | None = None
+        if header is None:
+            header = (
+                f"process backend: gave up after {timeout}s with "
+                f"{len(self.missing)} rank(s) unreported — likely "
+                f"deadlock or killed worker"
+            )
+        lines = [header]
+        if self.diagnostics:
+            lines.extend("  " + d.describe() for d in self.diagnostics)
+        else:
+            for r in self.missing:
+                state = ("still running" if r in self.alive
+                         else "process exited")
+                lines.append(f"  rank {r}: no result; {state}")
         super().__init__("\n".join(lines))
+
+
+class WorkerLostError(ProcessWatchdogError):
+    """A specific worker process was lost mid-run.
+
+    Raised by the supervisor loop when a rank's process exited without
+    reporting (``kind`` ``"killed"``/``"exited"``, from its exit code)
+    or went silent past the heartbeat timeout while still alive
+    (``kind`` ``"stalled-heartbeat"``).  Subclasses
+    :class:`ProcessWatchdogError` (a lost worker is the most common way
+    the old watchdog fired) but names the rank, so checkpoint/rollback
+    recovery can treat it as a restartable event rather than a fatal
+    hang.
+    """
+
+    #: Names its rank: root-cause selection raises it unwrapped.
+    rank_tagged = True
+
+    def __init__(self, rank: int, kind: str, missing: list[int],
+                 alive: list[int], timeout: float,
+                 diagnostics: list[RankDiagnostics] | None = None,
+                 exitcode: int | None = None):
+        self.rank = rank
+        self.kind = kind
+        self.exitcode = exitcode
+        header = (
+            f"process backend: worker for rank {rank} lost "
+            f"({kind}); {len(missing)} rank(s) unreported"
+        )
+        super().__init__(missing, alive, timeout,
+                         diagnostics=diagnostics, header=header)
 
 
 def _worker_main(rank: int, size: int, transport: ProcessTransport,
@@ -105,8 +165,17 @@ def _worker_main(rank: int, size: int, transport: ProcessTransport,
                  recv_timeout: float | None,
                  fault_plan: FaultPlan | None,
                  reliable: ReliableConfig | None, trace: bool,
-                 result_prefix: str) -> None:
+                 result_prefix: str, board: HeartbeatBoard | None = None,
+                 heartbeat_interval: float =
+                 _sup.DEFAULT_HEARTBEAT_INTERVAL) -> None:
     """Body of one rank process (module-level so ``spawn`` can pickle it)."""
+    # Shed fork-inherited host state: the parent's registered shm
+    # prefixes and SIGTERM sweep must not fire in a terminated worker
+    # (they would reclaim blocks still in flight to other ranks).
+    _shm_codec.forget_inherited_state()
+    _sup.reset_worker_state()
+    if board is not None:
+        _sup.activate_worker(rank, board, fault_plan, heartbeat_interval)
     # Renumber this process's messages into a rank-private seq range:
     # globally unique for trace stitching, monotone per sender — the only
     # property Message ordering consumes — so virtual times match the
@@ -145,10 +214,12 @@ def _worker_main(rank: int, size: int, transport: ProcessTransport,
                 "timeout": recv_timeout,
             }
     if comm is not None:
-        comm.stats.duplicates_suppressed = \
+        # += because a checkpoint restore may have seeded the counter
+        # with suppressions from before the rollback boundary.
+        comm.stats.duplicates_suppressed += \
             comm.endpoint.duplicates_suppressed
-        comm.metrics.gauge("mailbox.max_pending").set(
-            comm.endpoint.max_pending)
+        g = comm.metrics.gauge("mailbox.max_pending")
+        g.set(max(g.value, comm.endpoint.max_pending))
         envelope["time"] = comm.clock.now
         envelope["timings"] = comm.clock.timings
         envelope["stats"] = comm.stats
@@ -191,6 +262,12 @@ class ProcessEngine:
     shm_threshold:
         Byte floor above which message arrays travel through shared
         memory (``None`` disables the shared-memory path entirely).
+    heartbeat_interval, heartbeat_timeout:
+        Worker liveness cadence: each worker stamps the shared board
+        every ``heartbeat_interval`` real seconds; the supervisor
+        convicts an unreported rank whose stamp is older than
+        ``heartbeat_timeout`` (:class:`WorkerLostError`, kind
+        ``"stalled-heartbeat"``).
     """
 
     def __init__(self, size: int, profile: MachineProfile = ZERO_COST,
@@ -200,7 +277,11 @@ class ProcessEngine:
                  start_method: str | None = None,
                  wall_timeout: float | None = None,
                  shm_threshold: int | None =
-                 _shm_codec.DEFAULT_SHM_THRESHOLD):
+                 _shm_codec.DEFAULT_SHM_THRESHOLD,
+                 heartbeat_interval: float =
+                 _sup.DEFAULT_HEARTBEAT_INTERVAL,
+                 heartbeat_timeout: float =
+                 _sup.DEFAULT_HEARTBEAT_TIMEOUT):
         if size <= 0:
             raise ValueError(f"engine size must be positive, got {size}")
         self.size = size
@@ -218,6 +299,16 @@ class ProcessEngine:
             wall_timeout = recv_timeout + 60.0
         self.wall_timeout = wall_timeout
         self.shm_threshold = shm_threshold
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval"
+            )
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        #: Real seconds the most recent run spent quiescing (teardown).
+        self.last_quiesce_seconds: float | None = None
 
     def run(self, main: Callable[..., Any], *args: Any,
             rank_args: Sequence[Sequence[Any]] | None = None,
@@ -243,8 +334,13 @@ class ProcessEngine:
                                       and not isinstance(tracer, bool))
         ctx = mp.get_context(self.start_method)
         shm_prefix = f"repro{os.getpid()}x{next(_run_counter)}"
+        # Arm the crash sweep before any block can exist: if the host
+        # itself dies past this point, atexit/SIGTERM hooks reclaim the
+        # run's /dev/shm blocks.
+        _shm_codec.register_prefix(shm_prefix)
         transport = ProcessTransport(ctx, self.size, shm_prefix,
                                      shm_threshold=self.shm_threshold)
+        board = HeartbeatBoard(ctx, self.size)
         result_q = ctx.Queue()
         workers = []
         for r in range(self.size):
@@ -254,10 +350,11 @@ class ProcessEngine:
                 args=(r, self.size, transport, result_q, main,
                       tuple(args), extra, self.profile, self.recv_timeout,
                       self.fault_plan, self.reliable, trace_on,
-                      f"{shm_prefix}res"),
+                      f"{shm_prefix}res", board, self.heartbeat_interval),
                 name=f"prank-{r}", daemon=True,
             ))
         envelopes: dict[int, dict[str, Any]] = {}
+        failure: BaseException | None = None
         try:
             for w in workers:
                 w.start()
@@ -272,28 +369,32 @@ class ProcessEngine:
                                    if r not in envelopes]
                         alive = [r for r in missing
                                  if workers[r].is_alive()]
-                        raise ProcessWatchdogError(missing, alive,
-                                                   self.wall_timeout)
+                        raise ProcessWatchdogError(
+                            missing, alive, self.wall_timeout,
+                            diagnostics=self._diagnose(
+                                missing, workers, board))
                     wait = min(wait, remaining)
                 try:
                     rank, data, block_info = result_q.get(timeout=wait)
                 except _queue.Empty:
-                    dead = [r for r in range(self.size)
-                            if r not in envelopes
-                            and not workers[r].is_alive()]
-                    if dead and result_q.empty():
-                        # A worker exited without reporting (killed /
-                        # crashed interpreter): waiting longer is useless.
-                        raise ProcessWatchdogError(
-                            dead, [], self.wall_timeout or 0.0)
+                    if result_q.empty():
+                        # No result racing up the pipe: safe to convict.
+                        self._check_liveness(envelopes, workers, board)
                     continue
                 envelopes[rank] = _shm_codec.decode(data, block_info)
                 if envelopes[rank]["kind"] == "error":
                     break
+        except BaseException as exc:
+            failure = exc
+            raise
         finally:
-            # First error / watchdog ends the run: terminate survivors
-            # (the process analogue of the virtual engine's mailbox
-            # close).  On a clean run every worker has already exited.
+            # Quiesce: first error / watchdog ends the run — terminate
+            # survivors (the process analogue of the virtual engine's
+            # mailbox close), drain every queue (decoding undelivered
+            # messages is what unlinks their shm blocks), then sweep the
+            # run's prefix for blocks orphaned by killed processes.  On
+            # a clean run every worker has already exited.
+            t_quiesce = time.monotonic()
             for w in workers:
                 if w.is_alive():
                     w.terminate()
@@ -304,14 +405,58 @@ class ProcessEngine:
                 if w.is_alive():  # pragma: no cover - last resort
                     w.kill()
                     w.join(timeout=5.0)
-            transport.drain_leftovers()
+            transport.close()
             self._drain_results(result_q, envelopes)
             result_q.close()
-            for q in transport.queues:
-                q.close()
+            result_q.cancel_join_thread()
             _shm_codec.cleanup_blocks(shm_prefix)
+            _shm_codec.release_prefix(shm_prefix)
+            self.last_quiesce_seconds = time.monotonic() - t_quiesce
+            if isinstance(failure, ProcessWatchdogError):
+                failure.quiesce_seconds = self.last_quiesce_seconds
 
         return self._build_report(envelopes, trace_on, tracer)
+
+    def _diagnose(self, missing: list[int], workers,
+                  board: HeartbeatBoard) -> list[RankDiagnostics]:
+        return [
+            RankDiagnostics(
+                rank=r, alive=workers[r].is_alive(),
+                exitcode=workers[r].exitcode,
+                heartbeat_age=board.age(r),
+                last_step=board.last_step(r),
+            )
+            for r in missing
+        ]
+
+    def _check_liveness(self, envelopes: dict, workers,
+                        board: HeartbeatBoard) -> None:
+        """Convict lost workers: exited-unreported or stalled heartbeat."""
+        missing = [r for r in range(self.size) if r not in envelopes]
+        dead = [r for r in missing if not workers[r].is_alive()]
+        if dead:
+            # A worker exited without reporting (killed / crashed
+            # interpreter): waiting longer is useless.  Results already
+            # in the pipe still land first (the loop drains before the
+            # next liveness probe reaches here with an empty queue).
+            r = dead[0]
+            exitcode = workers[r].exitcode
+            kind = ("killed" if exitcode is not None and exitcode < 0
+                    else "exited")
+            raise WorkerLostError(
+                r, kind, missing, [x for x in missing if x not in dead],
+                self.wall_timeout or 0.0,
+                diagnostics=self._diagnose(missing, workers, board),
+                exitcode=exitcode)
+        stalled = [r for r in missing
+                   if board.age(r) > self.heartbeat_timeout]
+        if stalled:
+            r = stalled[0]
+            raise WorkerLostError(
+                r, "stalled-heartbeat", missing, missing,
+                self.wall_timeout or 0.0,
+                diagnostics=self._diagnose(missing, workers, board),
+                exitcode=None)
 
     def _drain_results(self, result_q, envelopes: dict) -> None:
         """Absorb late results (decoding frees their shm blocks)."""

@@ -71,6 +71,21 @@ class ProcessTransport:
                 except Exception:
                     pass
 
+    def close(self) -> None:
+        """Drain in-flight payloads and retire every queue.
+
+        ``cancel_join_thread`` matters on the recovery path: a queue
+        whose feeder thread still holds buffered items from a worker
+        that was SIGKILL'd must not block host shutdown.
+        """
+        self.drain_leftovers()
+        for q in self.queues:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+
 
 class ProcessEndpoint(Endpoint):
     """One rank process's view of the transport."""

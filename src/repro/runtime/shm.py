@@ -30,10 +30,13 @@ pickling (``shm_threshold=None`` disables extraction explicitly).
 
 from __future__ import annotations
 
+import atexit
 import io
 import itertools
 import os
 import pickle
+import signal
+import threading
 from typing import Any
 
 import numpy as np
@@ -157,6 +160,96 @@ def decode(data: bytes, block_info) -> Any:
             block.unlink()
         except FileNotFoundError:  # pragma: no cover - already reclaimed
             pass
+
+
+# ------------------------------------------------------- crash-safe sweeping
+#
+# Ownership of an in-flight block belongs to the *message*: the sender
+# forgets it, the receiver unlinks it.  When the receiver is killed
+# mid-flight (a SIGKILL'd worker, a host dying on an exception path
+# that never reaches its ``finally``), nobody unlinks and the block
+# outlives the run.  The host therefore registers each run's block
+# prefix here; an ``atexit`` hook and a chained ``SIGTERM`` handler
+# sweep every registered prefix on the way down.  Engines release their
+# prefix after their own (more precise) teardown sweep, so on healthy
+# runs these hooks find nothing to do.
+
+_active_prefixes: set[str] = set()
+_prefix_lock = threading.Lock()
+_hooks_installed = False
+_prev_sigterm = None
+
+
+def _sweep_registered() -> int:
+    with _prefix_lock:
+        prefixes = list(_active_prefixes)
+    return sum(cleanup_blocks(p) for p in prefixes)
+
+
+def _sigterm_sweep(signum, frame):  # pragma: no cover - signal path
+    _sweep_registered()
+    handler = _prev_sigterm
+    if callable(handler):
+        handler(signum, frame)
+    else:
+        # Restore default disposition and re-deliver so the process
+        # still dies with the conventional SIGTERM status.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _install_cleanup_hooks() -> None:
+    global _hooks_installed, _prev_sigterm
+    if _hooks_installed:
+        return
+    _hooks_installed = True
+    atexit.register(_sweep_registered)
+    # Signal handlers can only be installed from the main thread; an
+    # engine driven from a worker thread still gets the atexit sweep.
+    if threading.current_thread() is threading.main_thread():
+        try:
+            prev = signal.getsignal(signal.SIGTERM)
+            if prev not in (signal.SIG_IGN,):
+                _prev_sigterm = None if prev is signal.SIG_DFL else prev
+                signal.signal(signal.SIGTERM, _sigterm_sweep)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+
+
+def register_prefix(name_prefix: str) -> None:
+    """Arm the crash sweep for one run's block prefix."""
+    _install_cleanup_hooks()
+    with _prefix_lock:
+        _active_prefixes.add(name_prefix)
+
+
+def release_prefix(name_prefix: str) -> None:
+    """Disarm the crash sweep after a run's own teardown sweep ran."""
+    with _prefix_lock:
+        _active_prefixes.discard(name_prefix)
+
+
+def forget_inherited_state() -> None:
+    """Reset fork-inherited sweep state inside a new worker process.
+
+    A forked worker inherits the host's registered prefixes and SIGTERM
+    handler; if the host later terminates that worker mid-run, the
+    inherited handler would sweep blocks of messages still in flight to
+    *other* ranks.  Workers call this first: clear the registry and put
+    SIGTERM back to its default disposition.
+    """
+    global _hooks_installed, _prev_sigterm
+    with _prefix_lock:
+        _active_prefixes.clear()
+    if _hooks_installed:
+        _hooks_installed = False
+        if threading.current_thread() is threading.main_thread():
+            try:
+                if signal.getsignal(signal.SIGTERM) is _sigterm_sweep:
+                    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        _prev_sigterm = None
 
 
 def cleanup_blocks(name_prefix: str) -> int:

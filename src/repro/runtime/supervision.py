@@ -1,0 +1,208 @@
+"""Worker supervision primitives for the process backend.
+
+The host cannot trust a worker process to *say* it died — an OOM kill,
+a segfault in native code, or a livelocked loop all end a rank's useful
+life without a result envelope.  Supervision rests on two signals:
+
+* **exit codes** — ``multiprocessing`` surfaces ``-signum`` for
+  signal deaths; :func:`classify_exit` turns that into a human verdict
+  ("killed by SIGKILL").
+* **heartbeats** — every worker runs a daemon thread that stamps a
+  shared :class:`HeartbeatBoard` slot with ``time.monotonic()`` every
+  ``interval`` seconds (CLOCK_MONOTONIC is system-wide on Linux, so
+  host and workers read the same clock).  A slot older than the
+  supervisor's timeout convicts a rank that is technically alive but
+  no longer making progress.
+
+The board also records the last *step* each rank reported
+(:func:`notify_step`), which serves double duty: it makes watchdog
+diagnostics say where each rank was when it died, and it is the hook
+through which the deterministic process-fault plan acts — a worker
+whose plan says ``kill={rank: k}`` SIGKILLs itself at the top of step
+``k``, and one with ``stall_heartbeat={rank: k}`` silences its
+heartbeat and hangs, exactly reproducing the two failure modes the
+supervisor must distinguish.
+
+:class:`RestartPolicy` bounds recovery: ``max_restarts`` respawns per
+run, exponential backoff between attempts.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.faults import FaultPlan
+
+#: Seconds between worker heartbeat stamps.
+DEFAULT_HEARTBEAT_INTERVAL = 0.2
+
+#: Host-side liveness verdict: a rank whose newest stamp is older than
+#: this is considered lost even if its process object reads alive.
+#: Generous relative to the interval so GC pauses and page-cache storms
+#: do not convict a healthy worker.
+DEFAULT_HEARTBEAT_TIMEOUT = 15.0
+
+
+class HeartbeatBoard:
+    """Shared-memory liveness board: one beat slot + step slot per rank.
+
+    Built by the host from a ``multiprocessing`` context *before*
+    forking; both sides access the raw arrays lock-free (an 8-byte
+    aligned store is atomic on every platform CPython runs on, and a
+    torn read would only mis-age one probe by one interval).
+    """
+
+    def __init__(self, ctx, size: int):
+        self.size = size
+        now = time.monotonic()
+        # Slots start "fresh" so a slow-to-start worker isn't convicted
+        # before its first beat.
+        self._beats = ctx.Array("d", [now] * size, lock=False)
+        self._steps = ctx.Array("q", [-1] * size, lock=False)
+
+    # ------------------------------------------------------------ worker
+    def beat(self, rank: int) -> None:
+        self._beats[rank] = time.monotonic()
+
+    def note_step(self, rank: int, step: int) -> None:
+        self._steps[rank] = step
+
+    # -------------------------------------------------------------- host
+    def age(self, rank: int) -> float:
+        return time.monotonic() - self._beats[rank]
+
+    def last_step(self, rank: int) -> int:
+        return int(self._steps[rank])
+
+
+def classify_exit(exitcode: int | None) -> str:
+    """Human verdict for one ``Process.exitcode``."""
+    if exitcode is None:
+        return "still running"
+    if exitcode == 0:
+        return "exited cleanly"
+    if exitcode < 0:
+        signum = -exitcode
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = f"signal {signum}"
+        return f"killed by {name} (exit {exitcode})"
+    return f"exited with status {exitcode}"
+
+
+@dataclass
+class RankDiagnostics:
+    """Everything the supervisor knows about one rank at failure time."""
+
+    rank: int
+    alive: bool
+    exitcode: int | None
+    heartbeat_age: float
+    last_step: int
+
+    def describe(self) -> str:
+        step = (f"last reported step {self.last_step}"
+                if self.last_step >= 0 else "no step reported yet")
+        return (f"rank {self.rank}: {classify_exit(self.exitcode)}; "
+                f"last heartbeat {self.heartbeat_age:.1f}s ago; {step}")
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Bounded respawn with exponential backoff.
+
+    ``delay(n)`` is how long to wait before restart attempt ``n``
+    (0-based): ``backoff_seconds * factor**n``, capped at ``cap``.
+    """
+
+    max_restarts: int = 3
+    backoff_seconds: float = 0.25
+    factor: float = 2.0
+    cap: float = 10.0
+
+    def __post_init__(self):
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+
+    def delay(self, restart_no: int) -> float:
+        return min(self.backoff_seconds * self.factor ** restart_no,
+                   self.cap)
+
+
+# --------------------------------------------------------------- worker side
+
+class _WorkerContext:
+    def __init__(self, rank: int, board: HeartbeatBoard,
+                 plan: "FaultPlan | None", interval: float):
+        self.rank = rank
+        self.board = board
+        self.kill_at = dict(plan.kill) if plan is not None else {}
+        self.stall_at = (dict(plan.stall_heartbeat)
+                         if plan is not None else {})
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._pulse, args=(interval,),
+            name=f"heartbeat-{rank}", daemon=True)
+        self._thread.start()
+
+    def _pulse(self, interval: float) -> None:
+        while not self._stop.is_set():
+            self.board.beat(self.rank)
+            self._stop.wait(interval)
+
+    def on_step(self, step: int) -> None:
+        self.board.note_step(self.rank, step)
+        if self.kill_at.get(self.rank) == step:
+            # Die the way an OOM-killed node dies: no cleanup, no word.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.stall_at.get(self.rank) == step:
+            # Livelock impersonation: heartbeat goes quiet, the process
+            # stays alive and never makes progress again.
+            self._stop.set()
+            while True:  # pragma: no cover - killed by the supervisor
+                time.sleep(3600.0)
+
+
+_worker_ctx: _WorkerContext | None = None
+
+
+def activate_worker(rank: int, board: HeartbeatBoard,
+                    plan: "FaultPlan | None",
+                    interval: float = DEFAULT_HEARTBEAT_INTERVAL) -> None:
+    """Install this process's supervision context and start its heartbeat.
+
+    Called first thing in the worker body.  Idempotent per process: a
+    second activation replaces the context (only reachable in tests).
+    """
+    global _worker_ctx
+    _worker_ctx = _WorkerContext(rank, board, plan, interval)
+
+
+def notify_step(step: int) -> None:
+    """Rank program hook: 'I am starting real step ``step``'.
+
+    No-op outside an activated worker (virtual backend, host process),
+    so simulation code can call it unconditionally.
+    """
+    if _worker_ctx is not None:
+        _worker_ctx.on_step(step)
+
+
+def reset_worker_state() -> None:
+    """Forget any context inherited through ``fork`` (fresh workers
+    must not reuse the parent's board slot or fault actions)."""
+    global _worker_ctx
+    if _worker_ctx is not None:
+        _worker_ctx._stop.set()
+    _worker_ctx = None

@@ -122,6 +122,45 @@ def test_rank_checkpoint_roundtrip():
     assert back.cluster_load is None and back.last_values is None
 
 
+def test_rank_checkpoint_accounting_fields_roundtrip(tmp_path):
+    """The recovery-era fields (comm accounting, sequence counters)
+    survive both pickle and the durable on-disk format."""
+    from repro.core.checkpoint import DiskCheckpointStore
+
+    ps = plummer(10, seed=6)
+    reg = MetricsRegistry()
+    reg.counter("comm.retransmissions").inc(4)
+    reg.histogram("comm.recv_wait_seconds").observe(0.125)
+    ckpt = RankCheckpoint(
+        rank=2, step=5, particles=ps,
+        cluster_owners=None, cluster_load=None, key_boundaries=None,
+        my_particle_loads=None, last_values=None, clock_now=3.5,
+        phase_seconds={},
+        comm_stats=CommStats(messages_sent=9, bytes_sent=512,
+                             bytes_by_tag={7: 512}),
+        metrics=reg, coll_seq=17, xmit_seq=42,
+    )
+    back = roundtrip(ckpt)
+    assert back.comm_stats == ckpt.comm_stats
+    assert back.metrics.snapshot() == reg.snapshot()
+    assert (back.coll_seq, back.xmit_seq) == (17, 42)
+
+    store = DiskCheckpointStore(tmp_path / "ckpt", size=3)
+    store.save(ckpt)
+    disk = DiskCheckpointStore(tmp_path / "ckpt", size=3).get(2, 5)
+    assert disk.comm_stats == ckpt.comm_stats
+    assert disk.metrics.snapshot() == reg.snapshot()
+    assert (disk.coll_seq, disk.xmit_seq) == (17, 42)
+    # Pre-recovery-era checkpoints default the new fields.
+    legacy = RankCheckpoint(rank=0, step=0, particles=ps,
+                            cluster_owners=None, cluster_load=None,
+                            key_boundaries=None, my_particle_loads=None,
+                            last_values=None, clock_now=0.0,
+                            phase_seconds={})
+    assert legacy.comm_stats is None and legacy.metrics is None
+    assert (legacy.coll_seq, legacy.xmit_seq) == (0, 0)
+
+
 def test_machine_accounting_objects_roundtrip():
     stats = CommStats(messages_sent=3, bytes_sent=100,
                       bytes_by_tag={1: 60, 2: 40},

@@ -56,6 +56,29 @@ class TestFaultPlan:
         p.write_text(FaultPlan(seed=9, drop_rate=0.25).to_json())
         assert FaultPlan.load(str(p)) == FaultPlan(seed=9, drop_rate=0.25)
 
+    def test_process_faults_round_trip(self):
+        plan = FaultPlan(seed=3, kill={1: 2}, stall_heartbeat={3: 0})
+        assert plan.any_process_faults
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.kill == {1: 2} and again.stall_heartbeat == {3: 0}
+        assert not FaultPlan(crash={0: 1.0}).any_process_faults
+
+    def test_process_fault_validation(self):
+        with pytest.raises(ValueError, match="kill"):
+            FaultPlan(kill={0: -1})
+        with pytest.raises(ValueError, match="stall"):
+            FaultPlan(stall_heartbeat={0: -2})
+
+    def test_without_process_faults(self):
+        plan = FaultPlan(kill={0: 1, 1: 2}, stall_heartbeat={0: 3},
+                         crash={2: 1.0})
+        left = plan.without_process_faults(0)
+        assert left.kill == {1: 2}
+        assert left.stall_heartbeat == {}
+        assert left.crash == {2: 1.0}          # virtual faults untouched
+        assert plan.kill == {0: 1, 1: 2}       # original untouched
+
 
 class TestInjectorDeterminism:
     def test_same_plan_same_decisions(self):

@@ -78,11 +78,24 @@ def test_potential_mode_cross_validates():
     assert res["virtual"].parallel_time == res["process"].parallel_time
 
 
-def test_process_backend_rejects_checkpointing():
-    with pytest.raises(ValueError, match="backend='virtual'"):
-        ParallelBarnesHut(plummer(64, seed=1),
-                          SchemeConfig(scheme="spda"), p=2,
-                          backend="process", checkpoint_every=1)
+def test_process_backend_checkpointing_is_observation_neutral():
+    """Checkpointing on the process backend must not perturb one bit of
+    the physics or the virtual accounting (it is pure observation)."""
+    particles = _instances()["plummer"]
+    plain = _run(particles, "spda", "process")
+    ps = particles.subset(np.arange(particles.n))
+    ckpt = ParallelBarnesHut(ps, SchemeConfig(scheme="spda", alpha=0.67,
+                                              mode="force"),
+                             p=4, profile=NCUBE2, backend="process",
+                             checkpoint_every=1).run(steps=2, dt=1e-3)
+    assert np.array_equal(plain.positions, ckpt.positions)
+    assert np.array_equal(plain.velocities, ckpt.velocities)
+    assert plain.parallel_time == ckpt.parallel_time
+    assert ckpt.recoveries == 0
+    # recovery.* counters exist and read zero on a clean run.
+    snap = ckpt.metrics_summary().snapshot()
+    assert snap["recovery.restarts"]["value"] == 0
+    assert snap["recovery.rollback_steps"]["value"] == 0
 
 
 def test_unknown_backend_rejected():

@@ -1,0 +1,191 @@
+"""Crash-tolerant process runtime: supervision and rollback recovery.
+
+The acceptance bar of the crash-recovery work: a run whose worker is
+SIGKILL'd mid-flight must recover automatically from the latest common
+durable checkpoint and finish **bitwise identical** — positions,
+velocities, virtual clocks, per-rank communication accounting — to a
+run that was never interrupted.  Around that sit the supporting
+guarantees: stalled (livelocked) workers are convicted by heartbeat,
+restart budgets bound the respawn loop, killed workers leak nothing
+into ``/dev/shm``, and watchdog errors carry per-rank diagnostics.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import ParallelBarnesHut, SchemeConfig, plummer
+from repro.machine.faults import FaultPlan, RankCrashedError
+from repro.machine.profiles import NCUBE2
+from repro.runtime.process_engine import WorkerLostError
+from repro.runtime.supervision import RestartPolicy, classify_exit
+
+P = 4
+STEPS = 2
+
+
+def _shm_names():
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("repro-")}
+    except OSError:  # pragma: no cover - non-POSIX
+        return set()
+
+
+def _run(scheme, ckpt_dir=None, plan=None, steps=STEPS, backend="process",
+         **kw):
+    particles = plummer(240, seed=5)
+    cfg = SchemeConfig(scheme=scheme, alpha=0.67, mode="force")
+    sim = ParallelBarnesHut(particles, cfg, p=P, profile=NCUBE2,
+                            backend=backend, fault_plan=plan,
+                            checkpoint_dir=ckpt_dir,
+                            checkpoint_every=1 if (ckpt_dir or plan) else None,
+                            restart_backoff=0.01, **kw)
+    return sim.run(steps=steps, dt=1e-3)
+
+
+def assert_bitwise_equal(a, b):
+    assert np.array_equal(a.positions, b.positions)
+    assert np.array_equal(a.velocities, b.velocities)
+    assert np.array_equal(a.values, b.values)
+    assert a.parallel_time == b.parallel_time
+    for ra, rb in zip(a.run.ranks, b.run.ranks):
+        assert ra.time == rb.time
+        assert ra.timings == rb.timings
+        assert ra.stats == rb.stats
+
+
+# ------------------------------------------------------- rollback recovery
+
+@pytest.mark.parametrize("scheme", ["spsa", "spda", "dpda"])
+def test_sigkill_recovery_is_bitwise_identical(scheme, tmp_path):
+    """SIGKILL rank 1 at the top of step 1: the run self-heals from the
+    durable step-1 boundary and matches the uninterrupted run exactly."""
+    baseline = _run(scheme)
+    hurt = _run(scheme, ckpt_dir=tmp_path / scheme,
+                plan=FaultPlan(seed=7, kill={1: 1}))
+    assert hurt.recoveries == 1
+    assert_bitwise_equal(baseline, hurt)
+    snap = hurt.metrics_summary().snapshot()
+    assert snap["recovery.restarts"]["value"] == 1
+    assert snap["recovery.wall_seconds"]["count"] == 1
+    assert snap["recovery.quiesce_seconds"]["count"] == 1
+
+
+def test_stalled_heartbeat_convicted_and_recovered(tmp_path):
+    """A livelocked worker (heartbeat silenced, process alive) must be
+    convicted by the heartbeat timeout and the run recovered."""
+    baseline = _run("spda")
+    hurt = _run("spda", ckpt_dir=tmp_path / "stall",
+                plan=FaultPlan(seed=7, stall_heartbeat={2: 1}),
+                engine_options={"heartbeat_timeout": 1.5,
+                                "heartbeat_interval": 0.1})
+    assert hurt.recoveries == 1
+    assert_bitwise_equal(baseline, hurt)
+
+
+def test_virtual_crash_recovers_on_process_backend(tmp_path):
+    """The virtual-clock crash model (RankCrashedError inside a worker)
+    keeps working across OS process boundaries."""
+    baseline = _run("spda")
+    hurt = _run("spda", ckpt_dir=tmp_path / "crash",
+                plan=FaultPlan(seed=7, crash={1: 1e-9}))
+    assert hurt.recoveries >= 1
+    assert_bitwise_equal(baseline, hurt)
+
+
+def test_restart_budget_bounds_recovery(tmp_path):
+    """max_restarts=0 means the first worker loss is terminal, and the
+    raised error carries the per-rank post-mortem."""
+    with pytest.raises(WorkerLostError) as ei:
+        _run("spda", ckpt_dir=tmp_path / "budget",
+             plan=FaultPlan(seed=7, kill={1: 1}), max_restarts=0)
+    err = ei.value
+    assert err.rank == 1
+    assert err.kind == "killed"
+    assert "rank 1" in str(err)
+    assert "SIGKILL" in str(err)
+    # Diagnostics cover every rank and identify the dead one.
+    assert err.diagnostics is not None
+    assert sorted(d.rank for d in err.diagnostics) == list(range(P))
+    dead = next(d for d in err.diagnostics if d.rank == 1)
+    assert not dead.alive and dead.exitcode == -9
+    assert err.quiesce_seconds is not None and err.quiesce_seconds >= 0.0
+
+
+def test_killed_worker_leaks_no_shm(tmp_path):
+    """No /dev/shm blocks may outlive a run that lost a worker —
+    neither on the recovery path nor on the terminal-failure path."""
+    before = _shm_names()
+    res = _run("dpda", ckpt_dir=tmp_path / "leak",
+               plan=FaultPlan(seed=7, kill={1: 1}))
+    assert res.recoveries == 1
+    assert _shm_names() == before
+    with pytest.raises(WorkerLostError):
+        _run("dpda", ckpt_dir=tmp_path / "leak2",
+             plan=FaultPlan(seed=7, kill={2: 1}), max_restarts=0)
+    assert _shm_names() == before
+
+
+def test_rollback_metrics_account_lost_progress(tmp_path):
+    """Killing at step 1 with the step-1 boundary already durable means
+    zero steps of progress are re-executed; the counters must say so."""
+    res = _run("spda", ckpt_dir=tmp_path / "metrics",
+               plan=FaultPlan(seed=7, kill={1: 1}))
+    snap = res.metrics_summary().snapshot()
+    assert snap["recovery.restarts"]["value"] == 1
+    assert snap["recovery.rollback_steps"]["value"] == 0
+
+
+def test_process_faults_rejected_on_virtual_backend():
+    with pytest.raises(ValueError, match="process"):
+        _run("spda", plan=FaultPlan(seed=7, kill={1: 1}),
+             backend="virtual")
+
+
+# ----------------------------------------------------------- /dev/shm sweep
+
+def test_crash_sweep_reclaims_registered_prefix():
+    shm = pytest.importorskip("multiprocessing.shared_memory")
+    from repro.runtime import shm as shm_codec
+
+    block = shm.SharedMemory(name="repro-sweeptest-0", create=True, size=64)
+    block.close()
+    try:
+        shm_codec.register_prefix("repro-sweeptest-")
+        # The atexit hook body: sweeps every registered prefix.
+        assert shm_codec._sweep_registered() >= 1
+        assert "repro-sweeptest-0" not in _shm_names()
+    finally:
+        shm_codec.release_prefix("repro-sweeptest-")
+        try:
+            leftover = shm.SharedMemory(name="repro-sweeptest-0")
+            leftover.close()
+            leftover.unlink()
+        except FileNotFoundError:
+            pass
+    # Released prefixes are not swept again.
+    assert shm_codec._sweep_registered() == 0
+
+
+# ------------------------------------------------------------- small units
+
+def test_classify_exit():
+    assert classify_exit(None) == "still running"
+    assert classify_exit(0) == "exited cleanly"
+    assert classify_exit(-9) == "killed by SIGKILL (exit -9)"
+    assert classify_exit(-15) == "killed by SIGTERM (exit -15)"
+    assert classify_exit(3) == "exited with status 3"
+
+
+def test_restart_policy_backoff():
+    pol = RestartPolicy(max_restarts=5, backoff_seconds=0.25,
+                        factor=2.0, cap=1.0)
+    assert pol.delay(0) == 0.25
+    assert pol.delay(1) == 0.5
+    assert pol.delay(2) == 1.0
+    assert pol.delay(10) == 1.0   # capped
+    with pytest.raises(ValueError):
+        RestartPolicy(max_restarts=-1)
+    with pytest.raises(ValueError):
+        RestartPolicy(factor=0.5)

@@ -55,6 +55,39 @@ class TestCommands:
         assert "fractional % error" in capsys.readouterr().out
 
 
+class TestRecoveryCLI:
+    def test_run_accepts_recovery_flags(self, tmp_path):
+        args = build_parser().parse_args([
+            "run", "--checkpoint-dir", str(tmp_path / "ck"),
+            "--resume", "--max-restarts", "5",
+        ])
+        assert args.checkpoint_dir.endswith("ck")
+        assert args.resume is True
+        assert args.max_restarts == 5
+
+    def test_recovery_flag_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+        assert args.max_restarts == 3
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        """A checkpointed run leaves a directory a second invocation can
+        resume from — the host-restart half of crash tolerance."""
+        ckdir = str(tmp_path / "ck")
+        base = ["run", "--instance", "g_5000", "--scale", "0.05",
+                "--scheme", "spda", "--procs", "4", "--machine", "zero",
+                "--checkpoint-every", "1", "--checkpoint-dir", ckdir]
+        assert main(base + ["--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints:" in out
+
+        assert main(base + ["--steps", "3", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out
+        assert "resumed from checkpointed step 2" in out
+
+
 class TestTraceCLI:
     def test_trace_defaults(self):
         args = build_parser().parse_args(["trace"])
