@@ -29,7 +29,7 @@ from repro import ParallelBarnesHut, SchemeConfig
 from repro.bh.distributions import plummer
 from repro.machine.profiles import NCUBE2
 
-from bench_util import emit_bench_json
+from bench_util import bench_case, emit_bench_json
 
 TARGET_SPEEDUP = 2.0
 TARGET_N = 20_000
@@ -78,25 +78,28 @@ def bench_one(n: int, p: int, steps: int, scheme: str,
     cpu_count = os.cpu_count() or 1
     speedup = v_wall / p_wall if p_wall > 0 else float("inf")
     eligible = cpu_count >= 2 and n >= TARGET_N and p >= TARGET_P
-    entry = {
-        "scheme": scheme,
-        "p": p,
-        "n": n,
-        "steps": steps,
-        "parallel_time_virtual": v_res.parallel_time,
-        "wall_seconds_virtual": v_wall,
-        "wall_seconds_process": p_wall,
-        "wall_speedup": speedup,
-        "cpu_count": cpu_count,
-        "target_speedup": TARGET_SPEEDUP,
-        "target_eligible": eligible,
-        "target_met": bool(eligible and speedup >= TARGET_SPEEDUP),
-        "validated": True,
-    }
+    met = bool(eligible and speedup >= TARGET_SPEEDUP)
+    entry = bench_case(
+        f"{scheme}/p{p}",
+        params={"scheme": scheme, "p": p, "n": n, "steps": steps},
+        metrics={
+            "parallel_time_virtual": v_res.parallel_time,
+            "wall_seconds_virtual": v_wall,
+            "wall_seconds_process": p_wall,
+            "wall_speedup": speedup,
+        },
+        validated=True,
+        context={
+            "cpu_count": cpu_count,
+            "target_speedup": TARGET_SPEEDUP,
+            "target_eligible": eligible,
+            "target_met": met,
+        },
+    )
     print(f"{scheme} p={p} n={n}: virtual {v_wall:.2f}s, "
           f"process {p_wall:.2f}s, speedup {speedup:.2f}x "
           f"(cpus={cpu_count}, "
-          f"{'target met' if entry['target_met'] else 'target ' + ('missed' if eligible else 'not eligible on this host')})")
+          f"{'target met' if met else 'target ' + ('missed' if eligible else 'not eligible on this host')})")
     return entry
 
 
@@ -117,11 +120,12 @@ def main(argv=None) -> int:
     path = emit_bench_json("process_backend", entries)
     print(f"wrote {path}")
     # The speedup gate only binds where it is physically measurable.
-    missed = [e for e in entries if e["target_eligible"]
-              and not e["target_met"]]
+    missed = [e for e in entries if e["context"]["target_eligible"]
+              and not e["context"]["target_met"]]
     if missed:
         print(f"speedup target missed for "
-              f"{[e['scheme'] for e in missed]}", file=sys.stderr)
+              f"{[e['params']['scheme'] for e in missed]}",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -38,7 +38,7 @@ from repro.bh.distributions import plummer
 from repro.machine.faults import FaultPlan
 from repro.machine.profiles import NCUBE2
 
-from bench_util import emit_bench_json
+from bench_util import bench_case, emit_bench_json
 
 TARGET_OVERHEAD = 0.10     # fraction of plain wall-time
 TARGET_N = 20_000
@@ -100,26 +100,31 @@ def bench_one(n: int, p: int, steps: int, seed: int = 1994) -> dict:
     recovery_cost = rec_wall - ckpt_wall
     snap = rec_res.metrics_summary().snapshot()
     eligible = cpu_count >= 2 and n >= TARGET_N and p >= TARGET_P
-    entry = {
-        "scheme": "spda",
-        "p": p,
-        "n": n,
-        "steps": steps,
-        "wall_seconds_plain": plain_wall,
-        "wall_seconds_checkpointed": ckpt_wall,
-        "wall_seconds_recovered": rec_wall,
-        "checkpoint_overhead": overhead,
-        "recovery_wall_seconds": snap["recovery.wall_seconds"]["sum"],
-        "recovery_quiesce_seconds": snap["recovery.quiesce_seconds"]["sum"],
-        "recovery_extra_seconds": recovery_cost,
-        "recoveries": rec_res.recoveries,
-        "rollback_steps": snap["recovery.rollback_steps"]["value"],
-        "cpu_count": cpu_count,
-        "target_overhead": TARGET_OVERHEAD,
-        "target_eligible": eligible,
-        "target_met": bool(eligible and overhead <= TARGET_OVERHEAD),
-        "validated": True,
-    }
+    met = bool(eligible and overhead <= TARGET_OVERHEAD)
+    entry = bench_case(
+        f"spda/p{p}",
+        params={"scheme": "spda", "p": p, "n": n, "steps": steps},
+        metrics={
+            "wall_seconds_plain": plain_wall,
+            "wall_seconds_checkpointed": ckpt_wall,
+            "wall_seconds_recovered": rec_wall,
+            "checkpoint_overhead": overhead,
+            "recovery_wall_seconds":
+                snap["recovery.wall_seconds"]["sum"],
+            "recovery_quiesce_seconds":
+                snap["recovery.quiesce_seconds"]["sum"],
+            "recovery_extra_seconds": recovery_cost,
+            "recoveries": rec_res.recoveries,
+            "rollback_steps": snap["recovery.rollback_steps"]["value"],
+        },
+        validated=True,
+        context={
+            "cpu_count": cpu_count,
+            "target_overhead": TARGET_OVERHEAD,
+            "target_eligible": eligible,
+            "target_met": met,
+        },
+    )
     print(f"spda p={p} n={n}: plain {plain_wall:.2f}s, "
           f"checkpointed {ckpt_wall:.2f}s "
           f"(overhead {overhead * 100:+.1f}%), "
@@ -127,7 +132,7 @@ def bench_one(n: int, p: int, steps: int, seed: int = 1994) -> dict:
           f"(recovery {snap['recovery.wall_seconds']['sum'] * 1e3:.0f}ms, "
           f"quiesce {snap['recovery.quiesce_seconds']['sum'] * 1e3:.0f}ms)"
           f" [cpus={cpu_count}, "
-          f"{'target met' if entry['target_met'] else 'target ' + ('missed' if eligible else 'not eligible on this host')}]")
+          f"{'target met' if met else 'target ' + ('missed' if eligible else 'not eligible on this host')}]")
     return entry
 
 
@@ -144,8 +149,8 @@ def main(argv=None) -> int:
     entries = [bench_one(n, args.p, args.steps)]
     path = emit_bench_json("process_recovery", entries)
     print(f"wrote {path}")
-    missed = [e for e in entries if e["target_eligible"]
-              and not e["target_met"]]
+    missed = [e for e in entries if e["context"]["target_eligible"]
+              and not e["context"]["target_met"]]
     if missed:
         print("checkpoint-overhead target missed", file=sys.stderr)
         return 1

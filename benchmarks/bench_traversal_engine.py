@@ -35,7 +35,7 @@ from repro.bh.multipole import MonopoleExpansion
 from repro.bh.traversal import traverse_reference
 from repro.bh.tree import build_tree
 
-from bench_util import emit_bench_json
+from bench_util import bench_case, emit_bench_json
 
 ALPHA = 0.67
 LEAF_CAPACITY = 8
@@ -94,26 +94,31 @@ def bench_one(n: int, reps: int, seed: int = 1994) -> dict:
         if not counters_ok:
             raise SystemExit(f"n={n} {label}: interaction counters differ")
 
-    entry = {
-        "n": n,
-        "distribution": "plummer",
-        "mode": "force",
-        "degree": 0,
-        "alpha": ALPHA,
-        "leaf_capacity": LEAF_CAPACITY,
-        "reps": reps,
-        "seconds_reference": t_ref,
-        "seconds_engine_cold": t_cold,
-        "seconds_engine_warm": t_warm,
-        "speedup_cold": t_ref / t_cold,
-        "speedup_warm": t_ref / t_warm,
-        "max_abs_diff": float(np.max(np.abs(res_warm.values - ref.values))),
-        "mac_tests": ref.mac_tests,
-        "cluster_interactions": ref.cluster_interactions,
-        "p2p_interactions": ref.p2p_interactions,
-        "counters_equal": True,
-    }
-    return entry
+    return bench_case(
+        f"n{n}",
+        params={
+            "n": n,
+            "distribution": "plummer",
+            "mode": "force",
+            "degree": 0,
+            "alpha": ALPHA,
+            "leaf_capacity": LEAF_CAPACITY,
+            "reps": reps,
+        },
+        metrics={
+            "seconds_reference": t_ref,
+            "seconds_engine_cold": t_cold,
+            "seconds_engine_warm": t_warm,
+            "speedup_cold": t_ref / t_cold,
+            "speedup_warm": t_ref / t_warm,
+            "max_abs_diff": float(np.max(np.abs(res_warm.values
+                                                - ref.values))),
+            "mac_tests": ref.mac_tests,
+            "cluster_interactions": ref.cluster_interactions,
+            "p2p_interactions": ref.p2p_interactions,
+        },
+        validated=True,    # counters + values checked above
+    )
 
 
 def main(argv=None) -> int:
@@ -129,12 +134,13 @@ def main(argv=None) -> int:
     for n in args.n:
         e = bench_one(n, args.reps, args.seed)
         entries.append(e)
-        print(f"n={n:>7}  ref {e['seconds_reference']:.3f}s  "
-              f"cold {e['seconds_engine_cold']:.3f}s "
-              f"({e['speedup_cold']:.2f}x)  "
-              f"warm {e['seconds_engine_warm']:.3f}s "
-              f"({e['speedup_warm']:.2f}x)  "
-              f"max|diff| {e['max_abs_diff']:.2e}")
+        m = e["metrics"]
+        print(f"n={n:>7}  ref {m['seconds_reference']:.3f}s  "
+              f"cold {m['seconds_engine_cold']:.3f}s "
+              f"({m['speedup_cold']:.2f}x)  "
+              f"warm {m['seconds_engine_warm']:.3f}s "
+              f"({m['speedup_warm']:.2f}x)  "
+              f"max|diff| {m['max_abs_diff']:.2e}")
     path = emit_bench_json("traversal_engine", entries)
     print(f"wrote {path}")
     return 0

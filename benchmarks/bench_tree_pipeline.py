@@ -43,7 +43,7 @@ from repro.bh.tree import Tree, build_tree, build_tree_reference
 from repro.core.config import SchemeConfig
 from repro.core.simulation import ParallelBarnesHut
 
-from bench_util import emit_bench_json
+from bench_util import bench_case, emit_bench_json
 
 ALPHA = 0.67
 LEAF_CAPACITY = 8
@@ -143,32 +143,37 @@ def bench_pipeline(n: int, reps: int, seed: int) -> dict:
 
     ref_total = t_build_ref + t_mono_ref + t_multi_ref
     vec_total = t_build_vec + t_mono_vec + t_multi_vec
-    return {
-        "kind": "pipeline",
-        "n": n,
-        "distribution": "plummer",
-        "leaf_capacity": LEAF_CAPACITY,
-        "degree": DEGREE,
-        "reps": reps,
-        "seconds_build_reference": t_build_ref,
-        "seconds_build_vectorized": t_build_vec,
-        "seconds_monopole_reference": t_mono_ref,
-        "seconds_monopole_vectorized": t_mono_vec,
-        "seconds_upward_reference": t_up_ref,
-        "seconds_upward_vectorized": t_up_vec,
-        "seconds_multipole_reference": t_multi_ref,
-        "seconds_multipole_vectorized": t_multi_vec,
-        "seconds_walk_dfs": t_walk_dfs,
-        "seconds_walk_frontier": t_walk_fr,
-        "walk_targets": WALK_TARGETS,
-        "speedup_build": t_build_ref / t_build_vec,
-        "speedup_monopole": t_mono_ref / t_mono_vec,
-        "speedup_upward": t_up_ref / t_up_vec,
-        "speedup_multipole": t_multi_ref / t_multi_vec,
-        "speedup_walk": t_walk_dfs / t_walk_fr,
-        "speedup_combined": ref_total / vec_total,
-        "arrays_equal": True,
-    }
+    return bench_case(
+        f"pipeline/n{n}",
+        params={
+            "kind": "pipeline",
+            "n": n,
+            "distribution": "plummer",
+            "leaf_capacity": LEAF_CAPACITY,
+            "degree": DEGREE,
+            "reps": reps,
+            "walk_targets": WALK_TARGETS,
+        },
+        metrics={
+            "seconds_build_reference": t_build_ref,
+            "seconds_build_vectorized": t_build_vec,
+            "seconds_monopole_reference": t_mono_ref,
+            "seconds_monopole_vectorized": t_mono_vec,
+            "seconds_upward_reference": t_up_ref,
+            "seconds_upward_vectorized": t_up_vec,
+            "seconds_multipole_reference": t_multi_ref,
+            "seconds_multipole_vectorized": t_multi_vec,
+            "seconds_walk_dfs": t_walk_dfs,
+            "seconds_walk_frontier": t_walk_fr,
+            "speedup_build": t_build_ref / t_build_vec,
+            "speedup_monopole": t_mono_ref / t_mono_vec,
+            "speedup_upward": t_up_ref / t_up_vec,
+            "speedup_multipole": t_multi_ref / t_multi_vec,
+            "speedup_walk": t_walk_dfs / t_walk_fr,
+            "speedup_combined": ref_total / vec_total,
+        },
+        validated=True,    # every array compared exactly above
+    )
 
 
 # ------------------------------------------------------------------ sim
@@ -229,19 +234,24 @@ def bench_sim(scheme: str, n: int, p: int, steps: int, seed: int) -> dict:
     if res_vec.force_computations() != res_ref.force_computations():
         raise SystemExit(f"{scheme}: pipelines disagree on interaction "
                          f"counts")
-    return {
-        "kind": "sim",
-        "scheme": scheme,
-        "n": n,
-        "p": p,
-        "steps": steps,
-        "virtual_step_time": res_vec.last_step_time,
-        "wall_seconds_reference": t_ref / steps,
-        "wall_seconds_vectorized": t_vec / steps,
-        "wall_speedup": t_ref / t_vec,
-        "values_max_diff": diff,
-        "interactions_equal": True,
-    }
+    return bench_case(
+        f"sim/{scheme}",
+        params={
+            "kind": "sim",
+            "scheme": scheme,
+            "n": n,
+            "p": p,
+            "steps": steps,
+        },
+        metrics={
+            "virtual_step_time": res_vec.last_step_time,
+            "wall_seconds_reference": t_ref / steps,
+            "wall_seconds_vectorized": t_vec / steps,
+            "wall_speedup": t_ref / t_vec,
+            "values_max_diff": diff,
+        },
+        validated=True,    # forces + interaction counts checked above
+    )
 
 
 def main(argv=None) -> int:
@@ -266,20 +276,22 @@ def main(argv=None) -> int:
     for n in args.n:
         e = bench_pipeline(n, args.reps, args.seed)
         entries.append(e)
-        print(f"n={n:>7}  build {e['speedup_build']:.2f}x  "
-              f"monopole {e['speedup_monopole']:.2f}x  "
-              f"upward {e['speedup_upward']:.2f}x  "
-              f"multipole {e['speedup_multipole']:.2f}x  "
-              f"walk[{WALK_TARGETS}] {e['speedup_walk']:.2f}x  "
-              f"combined {e['speedup_combined']:.2f}x")
+        m = e["metrics"]
+        print(f"n={n:>7}  build {m['speedup_build']:.2f}x  "
+              f"monopole {m['speedup_monopole']:.2f}x  "
+              f"upward {m['speedup_upward']:.2f}x  "
+              f"multipole {m['speedup_multipole']:.2f}x  "
+              f"walk[{WALK_TARGETS}] {m['speedup_walk']:.2f}x  "
+              f"combined {m['speedup_combined']:.2f}x")
     for scheme in ("spsa", "spda", "dpda"):
         e = bench_sim(scheme, args.sim_n, args.procs, args.steps,
                       args.seed)
         entries.append(e)
-        print(f"{scheme}: step {e['wall_seconds_reference']:.3f}s -> "
-              f"{e['wall_seconds_vectorized']:.3f}s wall "
-              f"({e['wall_speedup']:.2f}x)  max|diff| "
-              f"{e['values_max_diff']:.2e}")
+        m = e["metrics"]
+        print(f"{scheme}: step {m['wall_seconds_reference']:.3f}s -> "
+              f"{m['wall_seconds_vectorized']:.3f}s wall "
+              f"({m['wall_speedup']:.2f}x)  max|diff| "
+              f"{m['values_max_diff']:.2e}")
     path = emit_bench_json("tree_pipeline", entries)
     print(f"wrote {path}")
     return 0

@@ -93,46 +93,89 @@ def table(name: str, headers, rows, title: str, precision: int = 2) -> str:
 
 
 # ------------------------------------------------- perf trajectory (JSON)
+def bench_case(case: str, params: dict, metrics: dict, *,
+               validated: bool = True,
+               context: dict | None = None) -> dict:
+    """One schema-v1 entry for :func:`emit_bench_json`.
+
+    ``params`` identify the configuration (scalars only: two results
+    compare only when params match), ``metrics`` are the measured
+    numbers, ``validated`` records that the bench's correctness
+    cross-checks passed, and ``context`` carries host facts that are
+    neither (cpu counts, acceptance-target bookkeeping).  See
+    ``harness.py`` for the full schema.
+    """
+    entry = {
+        "case": case,
+        "params": params,
+        "metrics": metrics,
+        "validated": bool(validated),
+    }
+    if context:
+        entry["context"] = context
+    return entry
+
+
 def bench_entry(*, instance: str, scheme: str, p: int, result,
                 scale: float | None = None, **extra) -> dict:
-    """One machine-readable perf-trajectory record for a parallel run.
+    """One schema-v1 perf-trajectory entry for a parallel run.
 
     Captures the quantities every perf PR is judged on: the steady-state
     virtual step time, the whole-run makespan, the force-phase load
-    imbalance, and communication volume.
+    imbalance, and communication volume.  Scalar ``extra`` kwargs land
+    in ``params``; dict-valued ones (e.g. per-phase breakdowns) land in
+    ``context``.
     """
-    entry = {
+    params = {
         "instance": instance,
         "scheme": scheme,
         "p": p,
         "n": int(sum(sr.n_local for sr in result.steps[0])),
         "steps": len(result.steps),
-        "step_time": result.last_step_time,
-        "parallel_time": result.parallel_time,
-        "load_imbalance": result.load_imbalance(),
-        "total_messages": result.run.total_messages,
-        "total_bytes": result.run.total_bytes,
     }
     if scale is not None:
-        entry["scale"] = scale
-    entry.update(extra)
-    return entry
+        params["scale"] = scale
+    context = {}
+    for key, value in extra.items():
+        (params if isinstance(value, (str, int, float, bool, type(None)))
+         else context)[key] = value
+    return bench_case(
+        f"{instance}/{scheme}/p{p}", params,
+        metrics={
+            "step_time": result.last_step_time,
+            "parallel_time": result.parallel_time,
+            "load_imbalance": result.load_imbalance(),
+            "total_messages": result.run.total_messages,
+            "total_bytes": result.run.total_bytes,
+        },
+        context=context or None,
+    )
 
 
 def emit_bench_json(name: str, entries: list[dict]) -> str:
-    """Persist ``BENCH_<name>.json`` under benchmarks/results/.
+    """Persist schema-v1 ``BENCH_<name>.json`` under benchmarks/results/.
 
-    The file is the repo's perf trajectory: a list of per-configuration
+    The file feeds the repo's perf trajectory: per-configuration
     records plus enough provenance (version, python) to compare entries
-    across PRs.  Returns the written path.
+    across PRs.  The document is validated against the harness schema
+    before it is written — a bench emitting malformed results fails
+    here, not later in CI.  Returns the written path.
     """
+    import harness
+
+    doc = {
+        "schema_version": harness.SCHEMA_VERSION,
+        "bench": name,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "entries": entries,
+    }
+    errors = harness.validate_doc(doc, f"BENCH_{name}.json")
+    if errors:
+        raise SystemExit("refusing to write schema-invalid bench "
+                         "result:\n  " + "\n  ".join(errors))
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
     with open(path, "w") as fh:
-        json.dump({
-            "bench": name,
-            "repro_version": __version__,
-            "python": platform.python_version(),
-            "entries": entries,
-        }, fh, indent=2)
+        json.dump(doc, fh, indent=2, sort_keys=True)
     return path

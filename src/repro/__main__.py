@@ -14,8 +14,14 @@ Commands
     and a metrics snapshot.
 ``trace``
     Run one traced simulation and print the observability report:
-    critical path (whole run and per step), phase waterfall, and the
-    src x dst traffic matrix; optionally write the trace file.
+    critical path (whole run and per step), phase waterfall, the
+    src x dst traffic matrix and — on the process backend, where the
+    trace carries wall tracks — the virtual-vs-wall skew report;
+    optionally write the trace file.
+``bench``
+    Run the registered performance benchmarks through
+    ``benchmarks/harness.py``: execute, schema-validate, append to the
+    results trajectory and print a regression comparison.
 
 Examples
 --------
@@ -24,8 +30,11 @@ Examples
     python -m repro instances
     python -m repro run --instance g_160535 --scale 0.01 --scheme dpda \\
         --procs 64 --machine cm5 --alpha 0.67 --degree 4 --mode potential
+    python -m repro run --backend process --procs 4 --live \\
+        --events-out events.jsonl --trace-out trace.json
     python -m repro trace --scheme dpda --procs 8 --steps 2 \\
         --out trace.json
+    python -m repro bench --smoke --report-only
 """
 
 from __future__ import annotations
@@ -97,6 +106,8 @@ def _build_sim(args):
         max_restarts=getattr(args, "max_restarts", 3),
         resume=getattr(args, "resume", False),
         backend=args.backend,
+        events_out=getattr(args, "events_out", None),
+        live=getattr(args, "live", False),
     )
     return particles, profile, fault_plan, sim
 
@@ -110,7 +121,10 @@ def _write_trace(result, path: str) -> None:
 
 def _write_metrics(result, path: str) -> None:
     with open(path, "w") as fh:
-        json.dump(result.metrics_summary().snapshot(), fh, indent=2)
+        # sort_keys makes the file byte-stable across runs: snapshot()
+        # sorts metric names, this sorts the keys inside each entry.
+        json.dump(result.metrics_summary().snapshot(), fh, indent=2,
+                  sort_keys=True)
     print(f"metrics written to {path}")
 
 
@@ -209,12 +223,51 @@ def _cmd_trace(args) -> int:
                   f"network {kinds.get('network', 0.0):.6f})")
     print("\n" + phase_waterfall(trace, width=args.waterfall_width))
     print("\n" + format_bytes_matrix(trace))
+    if trace.has_wall:
+        from repro.analysis import format_skew_report
+        print("\n" + format_skew_report(trace))
 
     if args.out:
         _write_trace(result, args.out)
     if args.metrics_out:
         _write_metrics(result, args.metrics_out)
     return 0
+
+
+def _cmd_bench(args) -> int:
+    """Delegate to ``benchmarks/harness.py run`` in the repo checkout.
+
+    The harness lives beside the benches (it shells out to them with
+    relative paths), so it is not part of the installed package; this
+    subcommand just finds it and forwards the flags.
+    """
+    import subprocess
+    from pathlib import Path
+
+    import repro
+
+    candidates = [
+        Path.cwd() / "benchmarks",
+        Path(repro.__file__).resolve().parents[2] / "benchmarks",
+    ]
+    bench_dir = next(
+        (c for c in candidates if (c / "harness.py").is_file()), None)
+    if bench_dir is None:
+        print("error: benchmarks/harness.py not found; run from the "
+              "repository checkout", file=sys.stderr)
+        return 2
+    argv = [sys.executable, str(bench_dir / "harness.py"), "run"]
+    if args.smoke:
+        argv.append("--smoke")
+    for name in args.bench or []:
+        argv += ["--bench", name]
+    if args.threshold is not None:
+        argv += ["--threshold", str(args.threshold)]
+    if args.report_only:
+        argv.append("--report-only")
+    if args.no_append:
+        argv.append("--no-append")
+    return subprocess.call(argv, cwd=str(bench_dir))
 
 
 def _add_sim_args(cmd: argparse.ArgumentParser) -> None:
@@ -285,6 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "(open in Perfetto / chrome://tracing)")
     run.add_argument("--metrics-out", metavar="PATH",
                      help="write the machine-wide metrics snapshot JSON")
+    run.add_argument("--events-out", metavar="PATH",
+                     help="append a JSON-lines run event stream here "
+                          "(run_start/step/checkpoint/worker_lost/"
+                          "recovery/run_end; process backend only)")
+    run.add_argument("--live", action="store_true",
+                     help="single-line live telemetry on stderr while "
+                          "the run executes (process backend only)")
 
     trace = sub.add_parser(
         "trace", help="run one traced simulation and print the "
@@ -298,6 +358,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="chain segments to print")
     trace.add_argument("--waterfall-width", type=int, default=72,
                        help="time bins per waterfall row")
+
+    bench = sub.add_parser(
+        "bench", help="run the registered benchmarks via "
+                      "benchmarks/harness.py (validate, append to the "
+                      "trajectory, compare against previous results)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny problem sizes (CI-friendly)")
+    bench.add_argument("--bench", action="append", metavar="NAME",
+                       help="run only this registered bench "
+                            "(repeatable; default: all)")
+    bench.add_argument("--threshold", type=float, metavar="PCT",
+                       help="regression threshold in percent "
+                            "(default: harness default)")
+    bench.add_argument("--report-only", action="store_true",
+                       help="print regressions without failing the exit "
+                            "status")
+    bench.add_argument("--no-append", action="store_true",
+                       help="do not append results to "
+                            "benchmarks/results/trajectory.jsonl")
     return parser
 
 
@@ -311,6 +390,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -12,6 +12,8 @@
   through a machine trace.
 * :mod:`~repro.analysis.trace_report` — src x dst traffic matrix and the
   text phase waterfall.
+* :mod:`~repro.analysis.skew_report` — per-phase virtual-vs-wall skew
+  and measured wall load imbalance from a dual-clock trace.
 """
 
 from repro.analysis.flops import (
@@ -43,6 +45,13 @@ from repro.analysis.trace_report import (
     format_bytes_matrix,
     phase_waterfall,
 )
+from repro.analysis.skew_report import (
+    PhaseSkew,
+    format_skew_report,
+    per_rank_wall_seconds,
+    phase_skew,
+    wall_load_imbalance,
+)
 
 __all__ = [
     "FLOPS_PER_MAC",
@@ -65,4 +74,9 @@ __all__ = [
     "bytes_matrix",
     "format_bytes_matrix",
     "phase_waterfall",
+    "PhaseSkew",
+    "format_skew_report",
+    "per_rank_wall_seconds",
+    "phase_skew",
+    "wall_load_imbalance",
 ]

@@ -110,6 +110,19 @@ class RankCheckpoint:
     #: per-tag byte accounting matches an uninterrupted run exactly.
     coll_seq: int = 0
     xmit_seq: int = 0
+    #: Trace events recorded up to the boundary — a ``(phases, sends,
+    #: recvs)`` tuple of this rank's virtual-tracer lists, or ``None``
+    #: when the run was untraced.  Restored so a recovered traced run's
+    #: virtual tracks are identical to an uninterrupted run's (without
+    #: it, a respawned worker's fresh tracer would only cover the
+    #: post-rollback steps).
+    trace_events: Any = None
+    #: Next message-seq value of the worker's SeqCounter at the
+    #: boundary (``None`` on the shared-counter virtual backend).
+    #: Restored so re-executed steps number messages exactly as the
+    #: uninterrupted run did — otherwise restored pre-boundary trace
+    #: events and re-executed events would collide on ``seq``.
+    seq_next: int | None = None
 
 
 class CheckpointStore:

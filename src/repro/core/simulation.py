@@ -56,6 +56,7 @@ from repro.core.partition import Cell, cover_cells
 from repro.core.tree_build import build_local_trees, local_branch_infos, \
     tree_build_flops
 from repro.core.tree_merge import merge_broadcast, merge_nonreplicated
+from repro.machine import mailbox as _mailbox_mod
 from repro.machine.clock import PhaseTimings
 from repro.machine.comm import Comm
 from repro.machine.costmodel import MachineProfile
@@ -266,6 +267,16 @@ class _RankState:
         # here so the boundary copy is self-contained.
         stats = copy.deepcopy(comm.stats)
         stats.duplicates_suppressed += comm.endpoint.duplicates_suppressed
+        # Trace continuity across rollback: carry this rank's virtual
+        # event lists (spans/events are immutable records — shallow
+        # copies suffice) and the worker's next message seq, so a
+        # recovered traced run replays into a trace identical to an
+        # uninterrupted one.
+        trace_events = None
+        if comm.tracer is not None:
+            trace_events = (list(comm.tracer.phases[comm.rank]),
+                            list(comm.tracer.sends[comm.rank]),
+                            list(comm.tracer.recvs[comm.rank]))
         return RankCheckpoint(
             rank=comm.rank, step=next_step,
             particles=_copy_particles(self.particles),
@@ -281,6 +292,8 @@ class _RankState:
             metrics=copy.deepcopy(comm.metrics),
             coll_seq=getattr(comm, "_coll_seq", 0),
             xmit_seq=comm._xmit_seq,
+            trace_events=trace_events,
+            seq_next=getattr(_mailbox_mod._seq_counter, "value", None),
         )
 
     def restore(self, ckpt: RankCheckpoint) -> None:
@@ -304,6 +317,19 @@ class _RankState:
         # buckets as an uninterrupted run.
         self.comm._coll_seq = ckpt.coll_seq
         self.comm._xmit_seq = ckpt.xmit_seq
+        # Trace continuity: re-seed this rank's virtual event lists and
+        # the worker's message-seq counter from the boundary, so the
+        # re-execution appends exactly where the uninterrupted run
+        # would have (virtual tracks come out identical).
+        if ckpt.trace_events is not None and self.comm.tracer is not None:
+            phases, sends, recvs = ckpt.trace_events
+            rank = self.comm.rank
+            self.comm.tracer.phases[rank] = list(phases)
+            self.comm.tracer.sends[rank] = list(sends)
+            self.comm.tracer.recvs[rank] = list(recvs)
+        if ckpt.seq_next is not None \
+                and hasattr(_mailbox_mod._seq_counter, "value"):
+            _mailbox_mod._seq_counter.value = ckpt.seq_next
 
     # ------------------------------------------------------ morton keys
     def _rank_keys(self) -> np.ndarray:
@@ -512,19 +538,30 @@ def _rank_main(comm: Comm, config: SchemeConfig, root: Box, bits: int,
                checkpoint_every: int | None, store: CheckpointStore | None,
                shard: ParticleSet | None,
                resume_from: RankCheckpoint | None = None):
-    from repro.runtime.supervision import notify_step
+    from repro.runtime.supervision import notify_checkpoint, notify_step
+    wall = comm.wall_tracer
+
+    def save_checkpoint(next_step: int) -> None:
+        if wall is not None:
+            with wall.timed("checkpoint:save", cat="wall:checkpoint"):
+                store.save(state.snapshot(next_step, results))
+        else:
+            store.save(state.snapshot(next_step, results))
+        notify_checkpoint(next_step)
+
     if resume_from is not None:
         state = _RankState(comm, config, root, bits,
                            ParticleSet.empty(root.dims))
         state.restore(resume_from)
         results = list(resume_from.results)
         start = resume_from.step
-        if comm.tracer is not None:
-            # Zero-width marker at the restored clock: where this
-            # attempt rejoined the trajectory.
-            comm.tracer.phase_span(comm.rank, "recovery:restore",
-                                   comm.now, comm.now, depth=0,
-                                   cat="recovery")
+        if wall is not None:
+            # Zero-width wall marker: where this attempt rejoined the
+            # trajectory.  On the wall track, not the virtual one — a
+            # recovered run's virtual tracks are identical to an
+            # uninterrupted run's, so the restore has no virtual-time
+            # footprint to mark.
+            wall.mark("recovery:restore", cat="wall:recovery")
     else:
         state = _RankState(comm, config, root, bits, shard)
         results = []
@@ -532,13 +569,14 @@ def _rank_main(comm: Comm, config: SchemeConfig, root: Box, bits: int,
         if store is not None:
             # Step-0 snapshot: a crash in the very first step can still
             # roll back to the initial deal.
-            store.save(state.snapshot(0, results))
+            save_checkpoint(0)
     for i in range(start, steps):
         # Liveness/fault hook: stamps the supervision board with this
         # rank's step (and executes planned kill/stall actions) on the
         # process backend; no-op everywhere else.
         notify_step(i)
         t0 = comm.now
+        w0 = wall.now() if wall is not None else 0.0
         sr = state.step(i, dt)
         sr.virtual_seconds = comm.now - t0
         results.append(sr)
@@ -549,9 +587,12 @@ def _rank_main(comm: Comm, config: SchemeConfig, root: Box, bits: int,
         if comm.tracer is not None:
             comm.tracer.phase_span(comm.rank, f"step {i}", t0, comm.now,
                                    depth=0, cat="step")
+        if wall is not None:
+            wall.record(f"step {i}", w0, wall.now(), depth=0,
+                        cat="wall:step")
         if (store is not None and checkpoint_every
                 and (i + 1) % checkpoint_every == 0):
-            store.save(state.snapshot(i + 1, results))
+            save_checkpoint(i + 1)
     return {
         "steps": results,
         "ids": state.particles.ids,
@@ -621,6 +662,17 @@ class ParallelBarnesHut:
         Extra keyword arguments forwarded to the
         :class:`~repro.runtime.ProcessEngine` constructor (e.g.
         ``heartbeat_timeout``); process backend only.
+    events_out:
+        Append run events (run_start / step / checkpoint / worker_lost /
+        recovery / run_end) as JSON lines to this path; schema in
+        :mod:`repro.runtime.telemetry`.  Process backend only.
+    live:
+        Render a live one-line progress display (stderr) from the
+        telemetry board while the run executes.  Process backend only.
+
+    Telemetry (``events_out``/``live``) and wall tracing are pure
+    wall-clock observation: results, virtual clocks, comm stats and
+    metrics are bitwise identical with and without them.
     """
 
     def __init__(self, particles: ParticleSet, config: SchemeConfig,
@@ -636,7 +688,9 @@ class ParallelBarnesHut:
                  restart_backoff: float = 0.25,
                  resume: bool = False,
                  backend: str = "virtual",
-                 engine_options: dict | None = None):
+                 engine_options: dict | None = None,
+                 events_out: str | None = None,
+                 live: bool = False):
         if particles.n == 0:
             raise ValueError("cannot simulate zero particles")
         if p < 1:
@@ -688,6 +742,13 @@ class ParallelBarnesHut:
         if engine_options and backend != "process":
             raise ValueError("engine_options apply to backend='process'")
         self.engine_options = dict(engine_options or {})
+        if (events_out or live) and backend != "process":
+            raise ValueError(
+                "live telemetry (events_out / live) samples the shared "
+                "telemetry board; it needs backend='process'"
+            )
+        self.events_out = events_out
+        self.live = live
         if (fault_plan is not None and fault_plan.any_process_faults
                 and backend != "process"):
             raise ValueError(
@@ -741,13 +802,23 @@ class ParallelBarnesHut:
                 store.discard_step(s)
 
     def run(self, steps: int = 1, dt: float | None = None,
-            trace: bool = False) -> SimulationResult:
+            trace: bool = False,
+            wall_trace: bool | None = None) -> SimulationResult:
         """Run ``steps`` time-steps; with ``trace=True`` the result also
         carries a :class:`~repro.machine.trace.Trace` of the (final) run
         — tracing never charges any virtual clock, so traced and
-        untraced runs have bitwise-identical virtual times."""
+        untraced runs have bitwise-identical virtual times.
+
+        ``wall_trace`` adds measured wall-clock tracks (phases,
+        transport operations, checkpoint writes) beside the virtual
+        tracks; defaults to ``trace`` on the process backend, off on
+        the virtual backend.  Requires ``trace=True``."""
         if steps < 1:
             raise ValueError("need at least one step")
+        if wall_trace is None:
+            wall_trace = trace and self.backend == "process"
+        if wall_trace and not trace:
+            raise ValueError("wall_trace=True requires trace=True")
         plan = self.fault_plan
         store, tmp_dir = self._make_store()
         host_metrics: MetricsRegistry | None = None
@@ -779,11 +850,42 @@ class ParallelBarnesHut:
             from repro.runtime import ProcessEngine, WorkerLostError
             engine_cls = ProcessEngine
             recoverable: tuple = (RankCrashedError, WorkerLostError)
-            engine_kw = self.engine_options
+            engine_kw = dict(self.engine_options)
         else:
             engine_cls = Engine
             recoverable = (RankCrashedError,)
             engine_kw = {}
+        # Live telemetry plumbing (process backend only, off by default).
+        elog = display = None
+        if self.events_out is not None or self.live:
+            from repro.runtime.telemetry import EventLog, LiveDisplay
+            if self.events_out is not None:
+                elog = EventLog(self.events_out)
+                elog.emit("run_start", scheme=self.config.scheme,
+                          p=self.p, n=self.particles.n, steps=steps,
+                          backend=self.backend)
+            if self.live:
+                display = LiveDisplay(steps)
+            seen = {"step": -1, "ckpt": -1}
+
+            def _on_rows(rows):
+                if display is not None:
+                    display.update(rows)
+                if elog is None:
+                    return
+                lead = min(r.step for r in rows)
+                if lead > seen["step"]:
+                    seen["step"] = lead
+                    elog.emit_step(lead, rows)
+                ck = min(r.ckpt_step for r in rows)
+                if ck > seen["ckpt"]:
+                    seen["ckpt"] = ck
+                    elog.emit("checkpoint", step=ck)
+
+            engine_kw["on_telemetry"] = _on_rows
+            engine_kw.setdefault("telemetry_interval", 0.5)
+        t_run0 = time.monotonic()
+        report = None
         try:
             while True:
                 engine = engine_cls(self.p, self.profile,
@@ -798,9 +900,17 @@ class ParallelBarnesHut:
                         steps, dt, self.checkpoint_every, store,
                         rank_args=rank_args,
                         tracer=Tracer(self.p) if trace else None,
+                        wall_trace=wall_trace,
                     )
                     break
                 except recoverable as failure:
+                    if elog is not None \
+                            and getattr(failure, "kind", None) is not None:
+                        elog.emit(
+                            "worker_lost", rank=failure.rank,
+                            kind=failure.kind,
+                            detail=[d.describe()
+                                    for d in failure.diagnostics])
                     if store is None:
                         raise
                     t_rec = time.monotonic()
@@ -837,6 +947,10 @@ class ParallelBarnesHut:
                     host_metrics.counter("recovery.restarts").inc()
                     host_metrics.counter("recovery.rollback_steps").inc(
                         max(0, furthest - s))
+                    if elog is not None:
+                        elog.emit("recovery", restart=recoveries,
+                                  resume_step=s,
+                                  rollback_steps=max(0, furthest - s))
                     quiesce = getattr(engine, "last_quiesce_seconds",
                                       None) or 0.0
                     host_metrics.histogram(
@@ -845,6 +959,16 @@ class ParallelBarnesHut:
                         "recovery.wall_seconds").observe(
                         quiesce + time.monotonic() - t_rec)
         finally:
+            if display is not None:
+                display.finish()
+            if elog is not None:
+                elog.emit(
+                    "run_end", ok=report is not None, steps=steps,
+                    parallel_time=(report.parallel_time
+                                   if report is not None else None),
+                    recoveries=recoveries,
+                    wall_seconds=round(time.monotonic() - t_run0, 6))
+                elog.close()
             if tmp_dir is not None:
                 shutil.rmtree(tmp_dir, ignore_errors=True)
 

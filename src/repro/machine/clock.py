@@ -54,6 +54,13 @@ class VirtualClock:
         self._deadline_exc: "Callable[[], BaseException] | None" = None
         #: Optional span tracer (set by Comm); never charges the clock.
         self._tracer = None
+        #: Optional wall recorder (set by Comm): mirrors every phase
+        #: block as a measured wall-clock span.  Never charges the clock.
+        self._wall_tracer = None
+        #: Optional ``listener(name_or_None)`` called on phase entry and
+        #: exit (``None`` = back to the enclosing phase); used by the
+        #: telemetry board.  Never charges the clock.
+        self._phase_listener = None
         self._rank = 0
 
     def set_deadline(self, t: float, exc_factory) -> None:
@@ -105,8 +112,13 @@ class VirtualClock:
         """
         self._phase_stack.append(name)
         tracer = self._tracer
+        wall = self._wall_tracer
+        listener = self._phase_listener
         t0 = self.now
+        w0 = wall.now() if wall is not None else 0.0
         depth = len(self._phase_stack)
+        if listener is not None:
+            listener(name)
         try:
             yield self
         finally:
@@ -114,6 +126,10 @@ class VirtualClock:
             if tracer is not None:
                 tracer.phase_span(self._rank, name, t0, self.now,
                                   depth=depth)
+            if wall is not None:
+                wall.record(name, w0, wall.now(), depth=depth)
+            if listener is not None:
+                listener(self.current_phase)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"VirtualClock(now={self.now:.6f})"

@@ -34,7 +34,7 @@ from repro.machine.mailbox import ANY_SOURCE, ANY_TAG, Message
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.transport import Endpoint
 from repro.machine.metrics import BYTE_BUCKETS, MetricsRegistry
-from repro.machine.trace import RecvEvent, SendEvent, Tracer
+from repro.machine.trace import RecvEvent, SendEvent, Tracer, WallRecorder
 from repro.machine import collectives as _coll
 
 
@@ -161,7 +161,8 @@ class Comm:
                  recv_timeout: float | None = 120.0,
                  injector: FaultInjector | None = None,
                  reliable: ReliableConfig | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 wall_tracer: "WallRecorder | None" = None):
         if not 0 <= rank < size:
             raise ValueError(f"rank {rank} out of range for size {size}")
         self.rank = rank
@@ -172,6 +173,10 @@ class Comm:
         self.tracer = tracer
         self.clock._tracer = tracer
         self.clock._rank = rank
+        #: Optional wall-clock recorder: mirrors phase blocks as measured
+        #: wall spans.  Pure observation — never charges the clock.
+        self.wall_tracer = wall_tracer
+        self.clock._wall_tracer = wall_tracer
         #: Per-rank metrics registry (merged machine-wide by the engine).
         self.metrics = MetricsRegistry()
         self._m_msg_bytes = self.metrics.histogram(

@@ -10,6 +10,7 @@ all timings are virtual and deterministic (see :mod:`repro.machine.comm`).
 from __future__ import annotations
 
 import threading
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -25,7 +26,7 @@ from repro.machine.faults import (
 from repro.machine.mailbox import MailboxClosedError
 from repro.machine.metrics import MetricsRegistry
 from repro.machine.profiles import ZERO_COST
-from repro.machine.trace import Trace, Tracer
+from repro.machine.trace import Trace, Tracer, WallRecorder
 from repro.machine.transport import LocalTransport
 
 
@@ -237,7 +238,8 @@ class Engine:
 
     def run(self, main: Callable[..., Any], *args: Any,
             rank_args: Sequence[Sequence[Any]] | None = None,
-            tracer: Tracer | bool | None = None) -> RunReport:
+            tracer: Tracer | bool | None = None,
+            wall_trace: bool = False) -> RunReport:
         """Execute ``main(comm, *args)`` on every rank.
 
         ``rank_args`` optionally provides per-rank extra positional
@@ -245,7 +247,10 @@ class Engine:
         a span tracer (``True`` creates one sized to the engine); the
         finished :class:`~repro.machine.trace.Trace` lands on the report.
         Tracing never charges any virtual clock, so traced and untraced
-        runs have bitwise-identical virtual times.
+        runs have bitwise-identical virtual times.  ``wall_trace=True``
+        additionally records each rank thread's measured wall-clock
+        phase spans (a shared epoch, one wall track per rank on the
+        trace); requires a tracer.
         """
         if rank_args is not None and len(rank_args) != self.size:
             raise ValueError(
@@ -259,13 +264,20 @@ class Engine:
             raise ValueError(
                 f"tracer sized for {tracer.size} ranks, engine has {self.size}"
             )
+        if wall_trace and tracer is None:
+            raise ValueError("wall_trace requires tracing to be enabled")
+        recorders = None
+        if wall_trace:
+            epoch = _time.monotonic()
+            recorders = [WallRecorder(r, epoch) for r in range(self.size)]
         transport = LocalTransport(self.size)
         injector = (FaultInjector(self.fault_plan, self.size)
                     if self.fault_plan is not None else None)
         comms = [Comm(r, self.size, self.cost, transport.endpoint(r),
                       recv_timeout=self.recv_timeout,
                       injector=injector, reliable=self.reliable,
-                      tracer=tracer)
+                      tracer=tracer,
+                      wall_tracer=(recorders[r] if recorders else None))
                  for r in range(self.size)]
         if injector is not None:
             for r in range(self.size):
@@ -306,6 +318,9 @@ class Engine:
             trace = None
             if tracer is not None and trace_done:
                 tracer.final_times = [c.clock.now for c in comms]
+                if recorders is not None:
+                    for r in range(self.size):
+                        tracer.adopt_wall_spans(r, recorders[r].spans)
                 trace = tracer.finish()
             return RunReport(ranks=[
                 RankResult(rank=r, value=states[r].value,

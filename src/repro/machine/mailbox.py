@@ -17,6 +17,32 @@ from typing import Any
 ANY_SOURCE = -1
 ANY_TAG = -1
 
+class SeqCounter:
+    """An ``itertools.count`` whose next value can be read and re-seeded.
+
+    The process backend gives each rank worker its own counter (seeded at
+    ``rank << SEQ_SHIFT``), and rollback recovery must continue numbering
+    exactly where the crashed attempt's checkpoint left off — otherwise
+    restored pre-boundary trace events and re-executed post-boundary
+    events would collide on ``seq``.  ``itertools.count`` cannot be
+    inspected, so workers swap in this class; the iterator protocol is
+    all ``Message`` needs.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0):
+        self.value = start
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> int:
+        v = self.value
+        self.value = v + 1
+        return v
+
+
 _seq_counter = itertools.count()
 
 

@@ -32,6 +32,8 @@ tracer needs no locking and adds no cross-thread synchronisation.
 from __future__ import annotations
 
 import json
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -86,15 +88,67 @@ class RecvEvent:
     waited: bool            # arrival > t_begin: the message bound the clock
 
 
+class WallRecorder:
+    """Collects wall-clock :class:`PhaseSpan` events for one rank.
+
+    The second half of the dual-clock trace: where the virtual tracer
+    records what the *cost model* says a phase took, a wall recorder
+    records what the *hardware* said.  Spans are measured on
+    ``time.monotonic()`` relative to a run epoch the host fixes before
+    spawning workers — ``CLOCK_MONOTONIC`` is system-wide on Linux, so
+    every rank process shares one timeline and the per-rank wall tracks
+    line up in the exported trace.
+
+    Wall recording never touches a virtual clock; an instrumented run's
+    virtual accounting is bitwise identical to an uninstrumented one.
+    """
+
+    __slots__ = ("rank", "epoch", "spans")
+
+    def __init__(self, rank: int, epoch: float | None = None):
+        self.rank = rank
+        self.epoch = time.monotonic() if epoch is None else epoch
+        self.spans: list[PhaseSpan] = []
+
+    def now(self) -> float:
+        """Wall seconds since the run epoch."""
+        return time.monotonic() - self.epoch
+
+    def record(self, name: str, t0: float, t1: float, depth: int = 1,
+               cat: str = "wall:phase") -> None:
+        self.spans.append(PhaseSpan(rank=self.rank, name=name, t0=t0,
+                                    t1=t1, depth=depth, cat=cat))
+
+    def mark(self, name: str, cat: str = "wall:phase") -> None:
+        """Record a zero-duration marker span at the current wall time."""
+        t = self.now()
+        self.record(name, t, t, cat=cat)
+
+    @contextmanager
+    def timed(self, name: str, depth: int = 1, cat: str = "wall:phase"):
+        """Record the block as one wall span (exceptional exits too)."""
+        t0 = self.now()
+        try:
+            yield self
+        finally:
+            self.record(name, t0, self.now(), depth=depth, cat=cat)
+
+
 @dataclass
 class Trace:
-    """The finished event record of one engine run."""
+    """The finished event record of one engine run.
+
+    ``phases``/``sends``/``recvs`` live on the virtual timebase;
+    ``wall_phases`` (empty unless wall recording was enabled) holds each
+    rank's measured wall-clock spans on the run-epoch timebase.
+    """
 
     size: int
     phases: list[list[PhaseSpan]]
     sends: list[list[SendEvent]]
     recvs: list[list[RecvEvent]]
     final_times: list[float] = field(default_factory=list)
+    wall_phases: list[list[PhaseSpan]] = field(default_factory=list)
 
     # ------------------------------------------------------------ queries
     def all_phases(self) -> list[PhaseSpan]:
@@ -105,6 +159,13 @@ class Trace:
 
     def all_recvs(self) -> list[RecvEvent]:
         return [r for per_rank in self.recvs for r in per_rank]
+
+    def all_wall_phases(self) -> list[PhaseSpan]:
+        return [s for per_rank in self.wall_phases for s in per_rank]
+
+    @property
+    def has_wall(self) -> bool:
+        return any(self.wall_phases)
 
     def sends_by_seq(self) -> dict[int, SendEvent]:
         """Delivered-copy send events keyed by message seq."""
@@ -134,6 +195,11 @@ class Trace:
         messages as flow arrows ("s"/"f") anchored on instant events, and
         fault dispositions as instant events.  Timestamps are the virtual
         times in microseconds.
+
+        When wall spans were recorded, a second process (pid 1, "wall
+        clock") carries one wall track per rank on the run-epoch
+        timebase, so the cost model and the hardware sit side by side in
+        one Perfetto view.
         """
         us = 1e6
         # Message.seq values come from a process-global counter, so their
@@ -190,12 +256,35 @@ class Trace:
                            "id": flow_id.get(ev.seq, ev.seq),
                            "ts": ev.arrival * us, "pid": 0,
                            "tid": ev.rank, "args": {}})
-        events.sort(key=lambda e: (e.get("ts", -1.0), e.get("tid", -1)))
+        if self.has_wall:
+            events.append({"name": "process_name", "ph": "M", "pid": 1,
+                           "args": {"name": "wall clock"}})
+            events.append({"name": "process_sort_index", "ph": "M",
+                           "pid": 1, "args": {"sort_index": 1}})
+            for r in range(self.size):
+                events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                               "tid": r,
+                               "args": {"name": f"rank {r} (wall)"}})
+                events.append({"name": "thread_sort_index", "ph": "M",
+                               "pid": 1, "tid": r,
+                               "args": {"sort_index": r}})
+            for span in self.all_wall_phases():
+                events.append({
+                    "name": span.name, "cat": span.cat, "ph": "X",
+                    "ts": span.t0 * us, "dur": span.duration * us,
+                    "pid": 1, "tid": span.rank,
+                    "args": {"depth": span.depth},
+                })
+        events.sort(key=lambda e: (e.get("ts", -1.0), e.get("pid", -1),
+                                   e.get("tid", -1)))
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
             "otherData": {
                 "timebase": "virtual seconds (x 1e6 -> trace us)",
+                "wall_timebase": ("wall seconds since run epoch "
+                                  "(x 1e6 -> trace us)"
+                                  if self.has_wall else None),
                 "ranks": self.size,
                 "parallel_time": self.parallel_time,
             },
@@ -221,6 +310,7 @@ class Tracer:
         self.phases: list[list[PhaseSpan]] = [[] for _ in range(size)]
         self.sends: list[list[SendEvent]] = [[] for _ in range(size)]
         self.recvs: list[list[RecvEvent]] = [[] for _ in range(size)]
+        self.wall_phases: list[list[PhaseSpan]] = [[] for _ in range(size)]
         self.final_times: list[float] = [0.0] * size
 
     # Hooks — called from the machine layer, never charging any clock.
@@ -237,6 +327,12 @@ class Tracer:
     def recv_event(self, ev: RecvEvent) -> None:
         self.recvs[ev.rank].append(ev)
 
+    def adopt_wall_spans(self, rank: int,
+                         spans: list[PhaseSpan]) -> None:
+        """Install one rank's wall spans (shipped home by a worker)."""
+        self.wall_phases[rank] = list(spans)
+
     def finish(self) -> Trace:
         return Trace(size=self.size, phases=self.phases, sends=self.sends,
-                     recvs=self.recvs, final_times=list(self.final_times))
+                     recvs=self.recvs, final_times=list(self.final_times),
+                     wall_phases=self.wall_phases)

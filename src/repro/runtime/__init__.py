@@ -15,8 +15,11 @@ real multi-core host-time speedup on top.
   contract, supervising its workers through heartbeats and exit codes.
 * :class:`~repro.runtime.process_transport.ProcessTransport` — the
   queue + shared-memory message transport.
-* :mod:`~repro.runtime.supervision` — heartbeat board, exit-code
-  classification and restart policy backing crash recovery.
+* :mod:`~repro.runtime.supervision` — telemetry board (heartbeats,
+  current phase, bytes, RSS), exit-code classification and restart
+  policy backing crash recovery.
+* :mod:`~repro.runtime.telemetry` — host-side board sampler, live
+  progress display and the ``--events-out`` JSON-lines event stream.
 """
 
 from repro.runtime.process_engine import (
@@ -30,17 +33,29 @@ from repro.runtime.supervision import (
     HeartbeatBoard,
     RankDiagnostics,
     RestartPolicy,
+    TelemetryBoard,
     classify_exit,
+)
+from repro.runtime.telemetry import (
+    EventLog,
+    LiveDisplay,
+    RankTelemetry,
+    TelemetrySampler,
 )
 
 __all__ = [
+    "EventLog",
     "HeartbeatBoard",
+    "LiveDisplay",
     "ProcessEngine",
     "ProcessTransport",
     "ProcessWatchdogError",
     "RankDiagnostics",
+    "RankTelemetry",
     "RemoteRankError",
     "RestartPolicy",
+    "TelemetryBoard",
+    "TelemetrySampler",
     "WorkerLostError",
     "classify_exit",
 ]

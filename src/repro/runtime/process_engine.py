@@ -59,11 +59,12 @@ from repro.machine.faults import (
     ReliableConfig,
 )
 from repro.machine.profiles import ZERO_COST
-from repro.machine.trace import Trace, Tracer
+from repro.machine.trace import Trace, Tracer, WallRecorder
 from repro.runtime import shm as _shm_codec
 from repro.runtime import supervision as _sup
 from repro.runtime.process_transport import ProcessTransport
 from repro.runtime.supervision import HeartbeatBoard, RankDiagnostics
+from repro.runtime.telemetry import TelemetrySampler
 
 #: Seq-counter stride per rank: each worker numbers its messages from
 #: ``rank << SEQ_SHIFT``, so seqs are globally unique (trace stitching
@@ -167,7 +168,8 @@ def _worker_main(rank: int, size: int, transport: ProcessTransport,
                  reliable: ReliableConfig | None, trace: bool,
                  result_prefix: str, board: HeartbeatBoard | None = None,
                  heartbeat_interval: float =
-                 _sup.DEFAULT_HEARTBEAT_INTERVAL) -> None:
+                 _sup.DEFAULT_HEARTBEAT_INTERVAL,
+                 wall_epoch: float | None = None) -> None:
     """Body of one rank process (module-level so ``spawn`` can pickle it)."""
     # Shed fork-inherited host state: the parent's registered shm
     # prefixes and SIGTERM sweep must not fire in a terminated worker
@@ -179,18 +181,29 @@ def _worker_main(rank: int, size: int, transport: ProcessTransport,
     # Renumber this process's messages into a rank-private seq range:
     # globally unique for trace stitching, monotone per sender — the only
     # property Message ordering consumes — so virtual times match the
-    # shared-counter virtual backend bitwise.
-    _mailbox_mod._seq_counter = itertools.count(rank << SEQ_SHIFT)
+    # shared-counter virtual backend bitwise.  A SeqCounter (not a bare
+    # itertools.count) so checkpoint snapshots can read the next value
+    # and a rollback restore can re-seed it.
+    _mailbox_mod._seq_counter = _mailbox_mod.SeqCounter(rank << SEQ_SHIFT)
     envelope: dict[str, Any] = {"rank": rank}
     comm = None
     tracer = Tracer(size) if trace else None
+    # Dual-clock tracing: with an epoch from the host, every phase and
+    # transport operation is also recorded on the wall clock.  The
+    # recorder is pure observation — virtual accounting is untouched.
+    recorder = (WallRecorder(rank, wall_epoch)
+                if wall_epoch is not None else None)
     try:
         cost = CostModel(profile, size)
         injector = (FaultInjector(fault_plan, size)
                     if fault_plan is not None else None)
-        comm = Comm(rank, size, cost, transport.endpoint(rank),
+        endpoint = transport.endpoint(rank)
+        endpoint.wall_tracer = recorder
+        comm = Comm(rank, size, cost, endpoint,
                     recv_timeout=recv_timeout, injector=injector,
-                    reliable=reliable, tracer=tracer)
+                    reliable=reliable, tracer=tracer,
+                    wall_tracer=recorder)
+        _sup.attach_comm(comm)
         if injector is not None:
             t = injector.crash_time(rank)
             if t is not None:
@@ -227,6 +240,8 @@ def _worker_main(rank: int, size: int, transport: ProcessTransport,
     if tracer is not None:
         envelope["trace"] = (tracer.phases[rank], tracer.sends[rank],
                              tracer.recvs[rank])
+    if recorder is not None:
+        envelope["wall_trace"] = recorder.spans
     try:
         data, block_info = _shm_codec.encode(envelope,
                                              name_prefix=result_prefix)
@@ -268,6 +283,12 @@ class ProcessEngine:
         convicts an unreported rank whose stamp is older than
         ``heartbeat_timeout`` (:class:`WorkerLostError`, kind
         ``"stalled-heartbeat"``).
+    on_telemetry, telemetry_interval:
+        Live telemetry: ``on_telemetry(rows)`` is called from the host's
+        result loop at most every ``telemetry_interval`` real seconds
+        with the sampled board state (a list of
+        :class:`~repro.runtime.telemetry.RankTelemetry`).  Exceptions in
+        the callback are swallowed — telemetry must never kill a run.
     """
 
     def __init__(self, size: int, profile: MachineProfile = ZERO_COST,
@@ -281,7 +302,9 @@ class ProcessEngine:
                  heartbeat_interval: float =
                  _sup.DEFAULT_HEARTBEAT_INTERVAL,
                  heartbeat_timeout: float =
-                 _sup.DEFAULT_HEARTBEAT_TIMEOUT):
+                 _sup.DEFAULT_HEARTBEAT_TIMEOUT,
+                 on_telemetry: Callable[[list], None] | None = None,
+                 telemetry_interval: float = 1.0):
         if size <= 0:
             raise ValueError(f"engine size must be positive, got {size}")
         self.size = size
@@ -307,12 +330,17 @@ class ProcessEngine:
             )
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        if telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be positive")
+        self.on_telemetry = on_telemetry
+        self.telemetry_interval = telemetry_interval
         #: Real seconds the most recent run spent quiescing (teardown).
         self.last_quiesce_seconds: float | None = None
 
     def run(self, main: Callable[..., Any], *args: Any,
             rank_args: Sequence[Sequence[Any]] | None = None,
-            tracer: Tracer | bool | None = None) -> RunReport:
+            tracer: Tracer | bool | None = None,
+            wall_trace: bool = False) -> RunReport:
         """Execute ``main(comm, *args)`` on every rank, one process each.
 
         Same signature and report as
@@ -320,6 +348,10 @@ class ProcessEngine:
         host-side :class:`~repro.machine.trace.Tracer`) enables tracing;
         per-rank event lists are recorded in the workers and merged into
         one :class:`~repro.machine.trace.Trace` on the report.
+        ``wall_trace=True`` additionally records measured wall-clock
+        spans (phases, transport operations, checkpoint writes) against
+        a host-fixed epoch; they land on the same Trace as per-rank wall
+        tracks.  Requires tracing to be on.
         """
         if rank_args is not None and len(rank_args) != self.size:
             raise ValueError(
@@ -332,6 +364,9 @@ class ProcessEngine:
             )
         trace_on = tracer is True or (tracer is not None
                                       and not isinstance(tracer, bool))
+        if wall_trace and not trace_on:
+            raise ValueError("wall_trace requires tracing to be enabled")
+        wall_epoch = time.monotonic() if wall_trace else None
         ctx = mp.get_context(self.start_method)
         shm_prefix = f"repro{os.getpid()}x{next(_run_counter)}"
         # Arm the crash sweep before any block can exist: if the host
@@ -350,18 +385,32 @@ class ProcessEngine:
                 args=(r, self.size, transport, result_q, main,
                       tuple(args), extra, self.profile, self.recv_timeout,
                       self.fault_plan, self.reliable, trace_on,
-                      f"{shm_prefix}res", board, self.heartbeat_interval),
+                      f"{shm_prefix}res", board, self.heartbeat_interval,
+                      wall_epoch),
                 name=f"prank-{r}", daemon=True,
             ))
         envelopes: dict[int, dict[str, Any]] = {}
         failure: BaseException | None = None
+        sampler = (TelemetrySampler(board, self.size)
+                   if self.on_telemetry is not None else None)
+        next_sample = time.monotonic()
         try:
             for w in workers:
                 w.start()
             deadline = (time.monotonic() + self.wall_timeout
                         if self.wall_timeout is not None else None)
             while len(envelopes) < self.size:
+                if sampler is not None \
+                        and time.monotonic() >= next_sample:
+                    try:
+                        self.on_telemetry(sampler.sample())
+                    except Exception:  # telemetry must never kill a run
+                        pass
+                    next_sample = (time.monotonic()
+                                   + self.telemetry_interval)
                 wait: float | None = 1.0
+                if sampler is not None:
+                    wait = min(wait, self.telemetry_interval)
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
@@ -384,6 +433,15 @@ class ProcessEngine:
                 envelopes[rank] = _shm_codec.decode(data, block_info)
                 if envelopes[rank]["kind"] == "error":
                     break
+            if sampler is not None:
+                # Final sample: a short run can finish between periodic
+                # samples, so guarantee the host observes the board's
+                # terminal state (last step, last checkpoint) before the
+                # run ends.
+                try:
+                    self.on_telemetry(sampler.sample())
+                except Exception:  # telemetry must never kill a run
+                    pass
         except BaseException as exc:
             failure = exc
             raise
@@ -425,6 +483,8 @@ class ProcessEngine:
                 exitcode=workers[r].exitcode,
                 heartbeat_age=board.age(r),
                 last_step=board.last_step(r),
+                phase=board.current_phase(r),
+                wall_in_phase=board.wall_in_phase(r),
             )
             for r in missing
         ]
@@ -507,6 +567,7 @@ class ProcessEngine:
                 merged.phases[r] = list(phases)
                 merged.sends[r] = list(sends)
                 merged.recvs[r] = list(recvs)
+                merged.wall_phases[r] = list(env.get("wall_trace") or [])
             merged.final_times = [res.time for res in ranks]
             trace = merged.finish()
         report = RunReport(ranks=ranks, trace=trace)

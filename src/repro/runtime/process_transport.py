@@ -102,24 +102,42 @@ class ProcessEndpoint(Endpoint):
         #: Decoded-message store: supplies matching, ordering and
         #: reliable-layer dedup, identical to the local transport.
         self._box = Mailbox(rank)
+        #: Optional :class:`~repro.machine.trace.WallRecorder`: when set
+        #: (by the worker body), queue puts, blocking queue reads and
+        #: shared-memory decodes show up as ``wall:transport`` spans.
+        #: Pure wall-side observation — virtual pricing already happened
+        #: in Comm before a message reaches the endpoint.
+        self.wall_tracer = None
 
     # ------------------------------------------------------------- sending
     def deliver(self, dst: int, msg: Message) -> None:
         if dst == self.rank:
             self._box.put(msg)
             return
+        wall = self.wall_tracer
+        w0 = wall.now() if wall is not None else 0.0
         data, block_info = _shm_codec.encode(
             (msg.arrival, msg.seq, msg.tag, msg.nbytes, msg.xmit_id,
              msg.payload),
             name_prefix=self._shm_prefix, threshold=self._shm_threshold,
         )
         self._queues[dst].put((msg.src, data, block_info))
+        if wall is not None:
+            wall.record(f"transport:send dst={dst}", w0, wall.now(),
+                        depth=2, cat="wall:transport")
 
     # ----------------------------------------------------------- receiving
     def _accept(self, item: Any) -> None:
         src, data, block_info = item
+        wall = self.wall_tracer if block_info else None
+        w0 = wall.now() if wall is not None else 0.0
         arrival, seq, tag, nbytes, xmit_id, payload = \
             _shm_codec.decode(data, block_info)
+        if wall is not None:
+            # Only shm-backed payloads get a span: the attach + copy-out
+            # is the interesting cost; inline pickles are noise.
+            wall.record(f"transport:shm-decode src={src}", w0, wall.now(),
+                        depth=2, cat="wall:transport")
         self._box.put(Message(arrival=arrival, src=src, seq=seq, tag=tag,
                               payload=payload, nbytes=nbytes,
                               xmit_id=xmit_id))
@@ -138,11 +156,21 @@ class ProcessEndpoint(Endpoint):
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
         q = self._queues[self.rank]
+        wall = self.wall_tracer
+        w0 = wall.now() if wall is not None else 0.0
+        blocked = False
         while True:
             self._drain_pending()
             msg = self._box.poll(src, tag)
             if msg is not None:
+                if blocked and wall is not None:
+                    # Only record genuinely blocking receives — a hit in
+                    # the local mailbox is not a transport wait.
+                    wall.record(f"transport:recv-wait src={src}",
+                                w0, wall.now(), depth=2,
+                                cat="wall:transport")
                 return msg
+            blocked = True
             wait = _POLL_SECONDS
             if deadline is not None:
                 remaining = deadline - time.monotonic()

@@ -1,0 +1,235 @@
+"""The perf-regression harness: schema, trajectory, regression compare.
+
+``benchmarks/harness.py`` is a standalone script (it shells out to the
+benches), so these tests import it by path and exercise the pure
+pieces: schema-v1 validation over synthetic and committed documents,
+trajectory append/read round-trips, and the direction-aware regression
+comparison — including that an injected synthetic regression is
+flagged.
+"""
+
+import glob
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO, "benchmarks")
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = importlib.util.spec_from_file_location(
+        "bench_harness", os.path.join(BENCH_DIR, "harness.py"))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def good_doc():
+    return {
+        "schema_version": 1,
+        "bench": "demo",
+        "repro_version": "1.0.0",
+        "python": "3.11.7",
+        "entries": [{
+            "case": "spda/p4",
+            "params": {"scheme": "spda", "p": 4, "n": 600},
+            "metrics": {"wall_seconds": 1.25, "wall_speedup": 2.0},
+            "validated": True,
+            "context": {"cpu_count": 8},
+        }],
+    }
+
+
+# ---------------------------------------------------------- validation
+
+def test_good_doc_validates(harness):
+    assert harness.validate_doc(good_doc(), "x.json") == []
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    (lambda d: d.pop("schema_version"), "schema_version"),
+    (lambda d: d.update(schema_version=2), "schema_version"),
+    (lambda d: d.update(bench=""), "bench"),
+    (lambda d: d.update(entries=[]), "entries"),
+    (lambda d: d["entries"][0].pop("case"), "case"),
+    (lambda d: d["entries"][0].update(metrics={}), "metrics"),
+    (lambda d: d["entries"][0]["metrics"].update(ok=True), "not a number"),
+    (lambda d: d["entries"][0]["metrics"].update(note="hi"),
+     "not a number"),
+    (lambda d: d["entries"][0]["params"].update(vec=[1, 2]),
+     "not a scalar"),
+    (lambda d: d["entries"][0].update(validated="yes"), "validated"),
+    (lambda d: d["entries"][0].update(extra_key=1), "unknown entry keys"),
+])
+def test_schema_violations_rejected(harness, mutate, fragment):
+    doc = good_doc()
+    mutate(doc)
+    errors = harness.validate_doc(doc, "x.json")
+    assert errors, f"expected errors after {fragment!r} mutation"
+    assert any(fragment in e for e in errors)
+
+
+def test_duplicate_cases_rejected(harness):
+    doc = good_doc()
+    doc["entries"].append(json.loads(json.dumps(doc["entries"][0])))
+    errors = harness.validate_doc(doc, "x.json")
+    assert any("duplicate case" in e for e in errors)
+
+
+def test_committed_results_validate(harness):
+    """Every BENCH_*.json and trajectory record committed to the repo
+    must satisfy schema v1 — the same check CI runs."""
+    paths = sorted(glob.glob(
+        os.path.join(BENCH_DIR, "results", "BENCH_*.json")))
+    assert paths, "no committed bench results found"
+    for path in paths:
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert harness.validate_doc(doc, os.path.basename(path)) == []
+    trajectory = os.path.join(BENCH_DIR, "results", "trajectory.jsonl")
+    assert os.path.exists(trajectory), "trajectory.jsonl not seeded"
+    with open(trajectory) as fh:
+        records = [json.loads(line) for line in fh if line.strip()]
+    assert records
+    for i, rec in enumerate(records):
+        assert harness.validate_trajectory_line(rec, f"line {i}") == []
+
+
+def test_bench_util_refuses_invalid_entries(tmp_path, monkeypatch):
+    sys.path.insert(0, BENCH_DIR)
+    try:
+        import bench_util
+        monkeypatch.setattr(bench_util, "RESULTS_DIR", str(tmp_path))
+        with pytest.raises(SystemExit, match="schema-invalid"):
+            bench_util.emit_bench_json("demo", [{"case": "a"}])
+        path = bench_util.emit_bench_json("demo", [
+            bench_util.bench_case("a", {"n": 1}, {"seconds": 0.5})])
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["schema_version"] == 1
+        assert doc["entries"][0]["validated"] is True
+    finally:
+        sys.path.remove(BENCH_DIR)
+
+
+# ---------------------------------------------------------- trajectory
+
+def test_trajectory_round_trip(harness, tmp_path, monkeypatch):
+    monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+    monkeypatch.setattr(harness, "TRAJECTORY",
+                        str(tmp_path / "trajectory.jsonl"))
+    n = harness._append_trajectory(good_doc(), source="smoke")
+    assert n == 1
+    records = harness._read_trajectory()
+    assert len(records) == 1
+    rec = records[0]
+    assert rec["bench"] == "demo" and rec["case"] == "spda/p4"
+    assert rec["source"] == "smoke"
+    assert harness.validate_trajectory_line(rec, "line 0") == []
+    # Appending again grows the series in order.
+    harness._append_trajectory(good_doc(), source="smoke")
+    assert len(harness._read_trajectory()) == 2
+
+
+# ------------------------------------------------------------- compare
+
+def _record(metrics, source="smoke", params=None):
+    return {
+        "schema_version": 1, "bench": "demo", "case": "spda/p4",
+        "repro_version": "1.0.0", "python": "3.11.7",
+        "params": params or {"n": 600}, "metrics": metrics,
+        "validated": True, "source": source,
+    }
+
+
+def test_metric_direction_heuristics(harness):
+    assert harness.metric_direction("wall_seconds_process") == "lower"
+    assert harness.metric_direction("parallel_time") == "lower"
+    assert harness.metric_direction("checkpoint_overhead") == "lower"
+    assert harness.metric_direction("load_imbalance") == "lower"
+    assert harness.metric_direction("total_bytes") == "lower"
+    assert harness.metric_direction("wall_speedup") == "higher"
+    assert harness.metric_direction("steps_per_s") == "higher"
+    assert harness.metric_direction("mac_tests") is None
+
+
+def test_injected_regression_is_flagged(harness):
+    records = [
+        _record({"wall_seconds": 1.0, "wall_speedup": 2.0}),
+        # Injected synthetic regression: 50% slower, speedup halved.
+        _record({"wall_seconds": 1.5, "wall_speedup": 1.0}),
+    ]
+    report, regressions = harness.compare_records(records, threshold=10.0)
+    assert len(regressions) == 2
+    assert any("wall_seconds" in line for line in regressions)
+    assert any("wall_speedup" in line for line in regressions)
+    assert all("REGRESSION" in line for line in regressions)
+
+
+def test_improvement_and_noise_not_flagged(harness):
+    records = [
+        _record({"wall_seconds": 2.0, "max_abs_diff": 1e-15,
+                 "mac_tests": 100.0}),
+        _record({"wall_seconds": 1.0, "max_abs_diff": 5e-15,
+                 "mac_tests": 500.0}),
+    ]
+    report, regressions = harness.compare_records(records, threshold=10.0)
+    assert regressions == []
+    # Untracked metrics appear in the report but never regress.
+    assert any("mac_tests" in line and "untracked" in line
+               for line in report)
+    # Sub-noise-floor metrics are skipped entirely.
+    assert not any("max_abs_diff" in line for line in report)
+
+
+def test_threshold_respected(harness):
+    records = [_record({"wall_seconds": 1.0}),
+               _record({"wall_seconds": 1.15})]
+    _, loose = harness.compare_records(records, threshold=20.0)
+    assert loose == []
+    _, tight = harness.compare_records(records, threshold=10.0)
+    assert len(tight) == 1
+
+
+def test_series_split_by_params(harness):
+    """Smoke and full runs of the same case never compare against each
+    other: params are part of the series identity."""
+    records = [
+        _record({"wall_seconds": 1.0}, params={"n": 20000}),
+        _record({"wall_seconds": 100.0}, params={"n": 600}),
+    ]
+    report, regressions = harness.compare_records(records, threshold=10.0)
+    assert report == [] and regressions == []
+
+
+# ------------------------------------------------------------ CLI glue
+
+def test_repro_bench_subcommand_parses():
+    from repro.__main__ import build_parser
+    args = build_parser().parse_args(
+        ["bench", "--smoke", "--report-only", "--bench",
+         "traversal_engine", "--threshold", "15", "--no-append"])
+    assert args.command == "bench"
+    assert args.smoke and args.report_only and args.no_append
+    assert args.bench == ["traversal_engine"]
+    assert args.threshold == 15.0
+
+
+def test_run_flags_parse():
+    from repro.__main__ import build_parser
+    args = build_parser().parse_args(
+        ["run", "--backend", "process", "--live", "--events-out",
+         "ev.jsonl"])
+    assert args.live and args.events_out == "ev.jsonl"
+
+
+def test_harness_registry_scripts_exist(harness):
+    for name, spec in harness.BENCHES.items():
+        path = os.path.join(BENCH_DIR, spec["script"])
+        assert os.path.exists(path), f"{name}: missing {spec['script']}"
+        assert spec.keys() >= {"script", "smoke", "full"}
