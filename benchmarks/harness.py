@@ -35,11 +35,22 @@ measurements themselves; ``validated`` records that the bench's
 built-in correctness cross-checks passed before any number was
 reported.
 
+``context`` carries host facts that are neither configuration nor
+measurement (cpu counts, acceptance-target bookkeeping).  Two context
+keys are special: ``kernel_tier`` and ``numba_version`` describe the
+arithmetic backend that produced the numbers and *partition the
+trajectory* — records whose tier or numba version differ are never
+compared against each other (a numpy run regressing against a numba
+run, or numbers from two different numba codegens, would be
+meaningless).
+
 Trajectory
 ----------
 ``run`` appends one JSON line per (bench, case) to
-``results/trajectory.jsonl`` — the repo's long-term perf record.
-``compare`` groups trajectory lines by (bench, case, params) and flags
+``results/trajectory.jsonl`` — the repo's long-term perf record
+(``context`` is carried along when present).
+``compare`` groups trajectory lines by (bench, case, params, and the
+context tier keys above) and flags
 metric movements beyond ``--threshold`` percent in the harmful
 direction, inferred from the metric name (``seconds``/``time``/
 ``overhead``/``imbalance``/``bytes`` are lower-is-better;
@@ -100,6 +111,11 @@ BENCHES: dict[str, dict] = {
     },
     "process_recovery": {
         "script": "bench_process_recovery.py",
+        "smoke": ["--smoke"],
+        "full": [],
+    },
+    "compiled_kernels": {
+        "script": "bench_compiled_kernels.py",
         "smoke": ["--smoke"],
         "full": [],
     },
@@ -242,6 +258,8 @@ def _append_trajectory(doc: dict, source: str) -> int:
                 "validated": entry["validated"],
                 "source": source,
             }
+            if "context" in entry:
+                rec["context"] = entry["context"]
             fh.write(json.dumps(rec, sort_keys=True) + "\n")
     return len(doc["entries"])
 
@@ -276,8 +294,12 @@ def metric_direction(name: str) -> str | None:
 
 
 def _series_key(rec: dict) -> tuple:
+    # The kernel tier (and the numba version behind it) changes what the
+    # numbers mean: never compare across tiers or numba codegens.
+    ctx = rec.get("context") or {}
     return (rec["bench"], rec["case"],
-            json.dumps(rec.get("params", {}), sort_keys=True))
+            json.dumps(rec.get("params", {}), sort_keys=True),
+            ctx.get("kernel_tier"), ctx.get("numba_version"))
 
 
 def compare_records(records: list[dict],

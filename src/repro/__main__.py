@@ -93,6 +93,7 @@ def _build_sim(args):
         scheme=args.scheme, alpha=args.alpha, degree=args.degree,
         mode=args.mode, grid_level=args.grid_level,
         leaf_capacity=args.leaf_capacity,
+        kernel_tier=args.kernels, kernel_threads=args.kernel_threads,
     )
     profile = get_profile(args.machine)
     fault_plan = (FaultPlan.load(getattr(args, "fault_plan", None))
@@ -297,6 +298,17 @@ def _add_sim_args(cmd: argparse.ArgumentParser) -> None:
                      help="static cluster grid level (r = 8^level in 3-D)")
     cmd.add_argument("--leaf-capacity", type=int, default=16,
                      help="the paper's s: max particles per leaf")
+    cmd.add_argument("--kernels", choices=("numpy", "numba", "auto"),
+                     default="numpy",
+                     help="evaluation kernel tier: numpy (reference), "
+                          "numba (compiled, needs the [perf] extra; "
+                          "falls back to numpy with a warning), auto "
+                          "(numba when available)")
+    cmd.add_argument("--kernel-threads", type=int, default=None,
+                     metavar="N",
+                     help="evaluation threads per rank; results are "
+                          "bitwise independent of N (default: serial "
+                          "numpy loop)")
     cmd.add_argument("--steps", type=int, default=1)
 
 

@@ -37,11 +37,12 @@ perturbs values at the 1e-15 level.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bh import kernels
+from repro.bh import compiled, kernels
 from repro.bh.mac import BarnesHutMAC
 from repro.bh.tree import NO_CHILD, Tree
 
@@ -129,6 +130,11 @@ class InteractionLists:
     _p2p_groups: list | None = None
     _cluster_per_target: np.ndarray | None = None
     _p2p_src_per_target: np.ndarray | None = None
+    # P2P kernel scratch, keyed by (slot, ns, chunk): buffers persist
+    # across evaluate calls on a cached walk instead of being
+    # reallocated per pass.  Bitwise-neutral — every buffer is fully
+    # overwritten before it is read within a chunk.
+    _scratch: dict | None = None
 
     @property
     def cluster_interactions(self) -> int:
@@ -462,11 +468,44 @@ def _accumulate(values: np.ndarray, tgt: np.ndarray,
                                         minlength=nt)
 
 
+def _run_slots(run_slot, threads: int) -> None:
+    """Execute the ``ACCUM_SLOTS`` slot workers, serially or on a thread
+    pool.  Results are bitwise independent of ``threads``: each slot
+    owns a private accumulation buffer and a fixed chunk subsequence
+    (chunk ``c`` belongs to slot ``c % ACCUM_SLOTS``), and the caller
+    reduces slot buffers in slot order."""
+    slots = compiled.ACCUM_SLOTS
+    if threads <= 1:
+        for s in range(slots):
+            run_slot(s)
+        return
+    with ThreadPoolExecutor(max_workers=min(threads, slots)) as ex:
+        list(ex.map(run_slot, range(slots)))  # list() surfaces errors
+
+
+def _reduce_slots(values: np.ndarray, bufs: list) -> None:
+    for b in bufs:                 # slot order — part of the sum tree
+        if b is not None:
+            values += b
+
+
 def _cluster_pass(lists: InteractionLists, values: np.ndarray,
-                  evaluator, mode: str, chunk_bytes: int) -> None:
+                  evaluator, mode: str, chunk_bytes: int,
+                  tier: str = "numpy", threads: int | None = None) -> None:
     n = lists.cluster_tgt.size
     if n == 0:
         return
+    if tier == "numba":
+        info_fn = getattr(evaluator, "compiled_cluster_data", None)
+        info = info_fn(mode) if info_fn is not None else None
+        if info is not None:
+            com, mass, soft = info
+            compiled.cluster_pass(values, lists.targets,
+                                  lists.cluster_tgt, lists.cluster_node,
+                                  com, mass, soft, mode, threads)
+            return
+        # Evaluator is not compiled-eligible for this mode (degree >= 1
+        # multipole potentials): fall through to the numpy batch path.
     batch = getattr(evaluator,
                     "batch_potential" if mode == "potential"
                     else "batch_force", None)
@@ -475,11 +514,31 @@ def _cluster_pass(lists: InteractionLists, values: np.ndarray,
         return
     row = int(getattr(evaluator, "batch_row_bytes", 8 * (6 * lists.d + 8)))
     chunk = max(1, chunk_bytes // max(row, 1))
-    for lo in range(0, n, chunk):
-        hi = min(lo + chunk, n)
+
+    def do_chunk(out, lo, hi):
         tgt = lists.cluster_tgt[lo:hi]
         contrib = batch(lists.cluster_node[lo:hi], lists.targets[tgt])
-        _accumulate(values, tgt, contrib, lists.nt)
+        _accumulate(out, tgt, contrib, lists.nt)
+
+    if threads is None:            # legacy serial path, bit for bit
+        for lo in range(0, n, chunk):
+            do_chunk(values, lo, min(lo + chunk, n))
+        return
+
+    nchunks = -(-n // chunk)
+    bufs: list = [None] * compiled.ACCUM_SLOTS
+
+    def run_slot(s):
+        out = None
+        for ci in range(s, nchunks, compiled.ACCUM_SLOTS):
+            if out is None:
+                out = np.zeros_like(values)
+                bufs[s] = out
+            lo = ci * chunk
+            do_chunk(out, lo, min(lo + chunk, n))
+
+    _run_slots(run_slot, threads)
+    _reduce_slots(values, bufs)
 
 
 def _cluster_pass_grouped(lists: InteractionLists, values: np.ndarray,
@@ -497,14 +556,74 @@ def _cluster_pass_grouped(lists: InteractionLists, values: np.ndarray,
         values[seg_tgt] += fn(int(node), lists.targets[seg_tgt])
 
 
+def _p2p_scratch(lists: InteractionLists, slot: int, ns: int,
+                 chunk: int) -> tuple:
+    """Reusable P2P chunk buffers (diff tensor, squared distances,
+    per-pair weights, gathered masses), cached on the lists so repeated
+    evaluations over a cached walk allocate nothing."""
+    if lists._scratch is None:
+        lists._scratch = {}
+    key = (slot, ns, chunk)
+    bufs = lists._scratch.get(key)
+    if bufs is None:
+        d = lists.d
+        bufs = (np.empty((chunk, ns, d)), np.empty((chunk, ns)),
+                np.empty((chunk, ns)), np.empty((chunk, ns)))
+        lists._scratch[key] = bufs
+    return bufs
+
+
+def _p2p_chunk(lists: InteractionLists, out: np.ndarray,
+               tgt: np.ndarray, tpos: np.ndarray, row_entry: np.ndarray,
+               sp: np.ndarray, sm: np.ndarray | None, lo: int, hi: int,
+               force: bool, soft2: float, scale: float,
+               scratch: tuple) -> None:
+    """One fused P2P chunk: gather, subtract, rsqrt, contract,
+    scatter-add — accumulated onto ``out``."""
+    diff, r2, w, mbuf = scratch
+    c = hi - lo
+    tg = tgt[lo:hi]
+    rows = row_entry[lo:hi]
+    dv, r2v, wv = diff[:c], r2[:c], w[:c]
+    np.take(sp, rows, axis=0, out=dv)
+    np.subtract(tpos[lo:hi, None, :], dv, out=dv)
+    np.einsum("ijk,ijk->ij", dv, dv, out=r2v)
+    if soft2 != 0.0:
+        r2v += soft2
+    zero = r2v == 0.0
+    np.sqrt(r2v, out=r2v)
+    with np.errstate(divide="ignore"):
+        np.divide(1.0, r2v, out=r2v)           # inv_r
+    r2v[zero] = 0.0
+    if not force:
+        if sm is None:
+            contrib = r2v.sum(axis=1)
+        else:
+            np.take(sm, rows, axis=0, out=mbuf[:c])
+            contrib = np.einsum("ij,ij->i", r2v, mbuf[:c])
+    else:
+        np.multiply(r2v, r2v, out=wv)
+        wv *= r2v                              # inv_r^3
+        if sm is not None:
+            np.take(sm, rows, axis=0, out=mbuf[:c])
+            wv *= mbuf[:c]
+        contrib = np.einsum("ij,ijk->ik", wv, dv)
+    contrib *= scale
+    _accumulate(out, tg, contrib, lists.nt)
+
+
 def _p2p_pass(lists: InteractionLists, values: np.ndarray, tree: Tree,
-              sources, mode: str, softening: float,
-              chunk_bytes: int) -> None:
+              sources, mode: str, softening: float, chunk_bytes: int,
+              tier: str = "numpy", threads: int | None = None) -> None:
     if lists.p2p_leaf.size == 0:
         return
     if sources is None:
         raise ValueError("tree has local leaves but no source "
                          "particles were provided")
+    if tier == "numba":
+        compiled.p2p_pass(values, lists, tree, sources, mode, softening,
+                          threads)
+        return
     smass = sources.masses
     uniform = smass.size > 0 and bool(np.all(smass == smass[0]))
     # With uniform masses the scalar factor moves outside the row sums
@@ -513,52 +632,49 @@ def _p2p_pass(lists: InteractionLists, values: np.ndarray, tree: Tree,
     d = lists.d
     soft2 = softening ** 2
     force = mode == "force"
-    for tgt, tpos, row_entry, sp, sm in lists.p2p_groups(tree, sources):
-        n = tgt.size
-        if n == 0:
-            continue
-        ns = sp.shape[1]
+    groups = lists.p2p_groups(tree, sources)
+
+    def plan(n, ns):
         # live temporaries per target row: the (chunk, ns, d) source
         # gather + diff blocks and a few (chunk, ns) scalars
         row = 8 * (2 * ns * d + 4 * ns + 2 * d + 4)
-        chunk = min(n, max(1, chunk_bytes // row))
-        # buffers reused across chunks: diff tensor, squared distances,
-        # per-pair weights, gathered masses
-        diff = np.empty((chunk, ns, d))
-        r2 = np.empty((chunk, ns))
-        w = np.empty((chunk, ns))
-        mbuf = None if sm is None else np.empty((chunk, ns))
-        for lo in range(0, n, chunk):
-            hi = min(lo + chunk, n)
-            c = hi - lo
-            tg = tgt[lo:hi]
-            rows = row_entry[lo:hi]
-            dv, r2v, wv = diff[:c], r2[:c], w[:c]
-            np.take(sp, rows, axis=0, out=dv)
-            np.subtract(tpos[lo:hi, None, :], dv, out=dv)
-            np.einsum("ijk,ijk->ij", dv, dv, out=r2v)
-            if soft2 != 0.0:
-                r2v += soft2
-            zero = r2v == 0.0
-            np.sqrt(r2v, out=r2v)
-            with np.errstate(divide="ignore"):
-                np.divide(1.0, r2v, out=r2v)           # inv_r
-            r2v[zero] = 0.0
-            if not force:
-                if sm is None:
-                    contrib = r2v.sum(axis=1)
-                else:
-                    np.take(sm, rows, axis=0, out=mbuf[:c])
-                    contrib = np.einsum("ij,ij->i", r2v, mbuf[:c])
-            else:
-                np.multiply(r2v, r2v, out=wv)
-                wv *= r2v                              # inv_r^3
-                if sm is not None:
-                    np.take(sm, rows, axis=0, out=mbuf[:c])
-                    wv *= mbuf[:c]
-                contrib = np.einsum("ij,ijk->ik", wv, dv)
-            contrib *= scale
-            _accumulate(values, tg, contrib, lists.nt)
+        return min(n, max(1, chunk_bytes // row))
+
+    if threads is None:            # legacy serial path, bit for bit
+        for tgt, tpos, row_entry, sp, sm in groups:
+            n = tgt.size
+            if n == 0:
+                continue
+            chunk = plan(n, sp.shape[1])
+            scratch = _p2p_scratch(lists, 0, sp.shape[1], chunk)
+            for lo in range(0, n, chunk):
+                _p2p_chunk(lists, values, tgt, tpos, row_entry, sp, sm,
+                           lo, min(lo + chunk, n), force, soft2, scale,
+                           scratch)
+        return
+
+    bufs: list = [None] * compiled.ACCUM_SLOTS
+
+    def run_slot(s):
+        out = None
+        for tgt, tpos, row_entry, sp, sm in groups:
+            n = tgt.size
+            if n == 0:
+                continue
+            chunk = plan(n, sp.shape[1])
+            nchunks = -(-n // chunk)
+            for ci in range(s, nchunks, compiled.ACCUM_SLOTS):
+                if out is None:
+                    out = np.zeros_like(values)
+                    bufs[s] = out
+                scratch = _p2p_scratch(lists, s, sp.shape[1], chunk)
+                lo = ci * chunk
+                _p2p_chunk(lists, out, tgt, tpos, row_entry, sp, sm,
+                           lo, min(lo + chunk, n), force, soft2, scale,
+                           scratch)
+
+    _run_slots(run_slot, threads)
+    _reduce_slots(values, bufs)
 
 
 def evaluate_interaction_lists(tree: Tree, lists: InteractionLists,
@@ -567,7 +683,9 @@ def evaluate_interaction_lists(tree: Tree, lists: InteractionLists,
                                softening: float = 0.0,
                                count_node_interactions: bool = False,
                                target_weights: np.ndarray | None = None,
-                               working_set_bytes: int | None = None
+                               working_set_bytes: int | None = None,
+                               kernel_tier: str = "numpy",
+                               kernel_threads: int | None = None
                                ) -> TraversalResult:
     """The evaluation pass: fused kernels over prebuilt lists.
 
@@ -575,9 +693,21 @@ def evaluate_interaction_lists(tree: Tree, lists: InteractionLists,
     accumulation order), the identical counters, the identical per-node
     DPDA interaction counts, and the identical per-target weight
     attribution as the classical traversal would.
+
+    ``kernel_tier`` selects the arithmetic backend (see
+    :mod:`repro.bh.compiled`); counters, DPDA counts and weights come
+    from the walk and are tier-independent by construction.
+    ``kernel_threads=None`` keeps the original serial numpy loop bit
+    for bit; any explicit thread count (including 1) switches to the
+    slot-deterministic evaluator whose results are bitwise independent
+    of the count.
     """
     if mode not in ("potential", "force"):
         raise ValueError(f"mode must be 'potential' or 'force', got {mode!r}")
+    if kernel_threads is not None and int(kernel_threads) < 1:
+        raise ValueError("kernel_threads must be >= 1 (or None for the "
+                         "serial path)")
+    tier = compiled.resolve_tier(kernel_tier)
     nt, d = lists.nt, lists.d
     values = np.zeros(nt) if mode == "potential" else np.zeros((nt, d))
     result = TraversalResult(
@@ -591,8 +721,10 @@ def evaluate_interaction_lists(tree: Tree, lists: InteractionLists,
     ws = (DEFAULT_WORKING_SET_BYTES if working_set_bytes is None
           else int(working_set_bytes))
 
-    _cluster_pass(lists, values, evaluator, mode, ws)
-    _p2p_pass(lists, values, tree, sources, mode, softening, ws)
+    threads = None if kernel_threads is None else int(kernel_threads)
+    _cluster_pass(lists, values, evaluator, mode, ws, tier, threads)
+    _p2p_pass(lists, values, tree, sources, mode, softening, ws,
+              tier, threads)
 
     if count_node_interactions:
         nn = tree.nnodes
@@ -629,9 +761,14 @@ class TraversalEngine:
                  root: int | None = None, softening: float = 0.0,
                  cache_size: int = 8,
                  working_set_bytes: int | None = None,
-                 walk_method: str = "auto"):
+                 walk_method: str = "auto",
+                 kernel_tier: str = "numpy",
+                 kernel_threads: int | None = None):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        if kernel_threads is not None and int(kernel_threads) < 1:
+            raise ValueError("kernel_threads must be >= 1 (or None for "
+                             "the serial path)")
         self.tree = tree
         self.sources = sources
         self.mac = mac
@@ -639,6 +776,9 @@ class TraversalEngine:
         self.softening = softening
         self.working_set_bytes = working_set_bytes
         self.walk_method = walk_method
+        # resolved once: "auto" pins to the tier that will actually run
+        self.kernel_tier = compiled.resolve_tier(kernel_tier)
+        self.kernel_threads = kernel_threads
         self._cache: dict[tuple, InteractionLists] = {}
         self._cache_size = cache_size
         self.walks_built = 0
@@ -680,4 +820,6 @@ class TraversalEngine:
             count_node_interactions=count_node_interactions,
             target_weights=target_weights,
             working_set_bytes=self.working_set_bytes,
+            kernel_tier=self.kernel_tier,
+            kernel_threads=self.kernel_threads,
         )

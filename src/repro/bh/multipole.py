@@ -324,6 +324,11 @@ class MonopoleExpansion:
     def batch_row_bytes(self) -> int:
         return 8 * (6 * self.tree.dims + 8)
 
+    def compiled_cluster_data(self, mode: str):
+        """Point-mass data for the compiled kernel tier: monopole
+        arithmetic covers both modes."""
+        return self.tree.com, self.tree.mass, self.softening
+
     def batch_potential(self, nodes: np.ndarray,
                         targets: np.ndarray) -> np.ndarray:
         diff = targets - self.tree.com[nodes]
@@ -449,6 +454,14 @@ class TreeMultipoles:
         # dominated by the (pairs, nterms) complex irregular-term and
         # gathered-coefficient blocks
         return 16 * self.expansion.nterms * 4 + 8 * 6 * self.tree.dims
+
+    def compiled_cluster_data(self, mode: str):
+        """Forces are monopole arithmetic (compiled-eligible); degree >= 1
+        potentials need the complex spherical-harmonic series and stay
+        on the numpy tier (``None`` → fall back)."""
+        if mode == "potential":
+            return None
+        return self.tree.com, self.tree.mass, 0.0
 
     def batch_potential(self, nodes: np.ndarray,
                         targets: np.ndarray) -> np.ndarray:

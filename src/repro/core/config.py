@@ -8,6 +8,7 @@ SCHEMES = ("spsa", "spda", "dpda")
 MERGE_KINDS = ("broadcast", "nonreplicated")
 LOOKUP_KINDS = ("hashed", "sorted")
 MODES = ("force", "potential")
+KERNEL_TIERS = ("numpy", "numba", "auto")
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,16 @@ class SchemeConfig:
         engine default (cache-resident chunks); the value affects speed
         and peak memory only — results stay within the engine's 1e-12
         contract and the interaction counters are unchanged.
+    kernel_tier:
+        Arithmetic backend of the evaluation pass: ``"numpy"`` (the
+        reference tier), ``"numba"`` (compiled kernels, falls back to
+        numpy with a warning when numba is absent) or ``"auto"``
+        (numba when available).  Values stay within the engine's 1e-12
+        contract; interaction counters are tier-independent.
+    kernel_threads:
+        ``None`` keeps the original serial numpy loop bit for bit; any
+        explicit count (including 1) selects the slot-deterministic
+        evaluator whose results are bitwise independent of the count.
     """
 
     scheme: str = "spda"
@@ -64,6 +75,8 @@ class SchemeConfig:
     softening: float = 0.0
     max_depth: int | None = None
     working_set_bytes: int | None = None
+    kernel_tier: str = "numpy"
+    kernel_threads: int | None = None
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -94,6 +107,12 @@ class SchemeConfig:
             raise ValueError("softening must be >= 0")
         if self.working_set_bytes is not None and self.working_set_bytes < 4096:
             raise ValueError("working_set_bytes must be >= 4096 (or None)")
+        if self.kernel_tier not in KERNEL_TIERS:
+            raise ValueError(f"kernel_tier must be one of {KERNEL_TIERS}, "
+                             f"got {self.kernel_tier!r}")
+        if self.kernel_threads is not None and self.kernel_threads < 1:
+            raise ValueError("kernel_threads must be >= 1 (or None for "
+                             "the serial path)")
 
     def clusters(self, dims: int) -> int:
         """Number of static clusters r for the given dimensionality."""

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.bh import compiled
 from repro.bh.interaction_lists import TraversalEngine
 from repro.bh.mac import BarnesHutMAC
 from repro.bh.multipole import MonopoleExpansion
@@ -74,14 +75,21 @@ class FunctionShippingEngine:
         # bin of coordinates requesting both phases, or a re-run over an
         # unchanged tree) reuses the cached interaction lists.
         ws = config.working_set_bytes
+        # One resolution per engine: "auto" pins to the tier that runs
+        # (the ParallelBarnesHut constructor already warned if a numba
+        # request fell back).
+        self.kernel_tier = compiled.resolve_tier(config.kernel_tier)
+        kt = config.kernel_threads
         self._top_engine = TraversalEngine(
             top.tree, None, self.mac, softening=config.softening,
-            working_set_bytes=ws,
+            working_set_bytes=ws, kernel_tier=self.kernel_tier,
+            kernel_threads=kt,
         )
         self._subtree_engines = {
             st.key: TraversalEngine(
                 st.tree, st.particles, self.mac,
                 softening=config.softening, working_set_bytes=ws,
+                kernel_tier=self.kernel_tier, kernel_threads=kt,
             )
             for st in subtrees
         }
@@ -162,6 +170,12 @@ class FunctionShippingEngine:
         self.requester_flops = np.zeros(n)
 
         with comm.phase(PHASE_FORCE):
+            # Zero-duration marker span: records the active kernel tier
+            # in the trace without advancing any clock or re-attributing
+            # phase time (unknown phase names fold to "other" in the
+            # supervision telemetry, and no virtual time elapses inside).
+            with comm.phase(f"kernels:{self.kernel_tier}"):
+                pass
             if n:
                 top_res = self._top_engine.compute(
                     self.particles.positions, self.top, mode=self._mode,
@@ -210,4 +224,5 @@ class FunctionShippingEngine:
         self._result.walks_reused = reused
         comm.metrics.counter("force.walks_built").inc(built)
         comm.metrics.counter("force.walks_reused").inc(reused)
+        comm.metrics.counter(f"force.kernel_tier.{self.kernel_tier}").inc()
         return self._result

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.bh import compiled as _compiled
 from repro.bh import morton as _morton
 from repro.bh.morton import morton_keys
 from repro.bh.particles import Box, ParticleSet
@@ -695,6 +696,10 @@ class ParallelBarnesHut:
             raise ValueError("cannot simulate zero particles")
         if p < 1:
             raise ValueError("need at least one processor")
+        # Resolve the kernel tier once on the host so a numba request
+        # without numba warns exactly once (the engines resolve quietly).
+        self.kernel_tier = _compiled.resolve_tier(config.kernel_tier,
+                                                  warn=True)
         self.particles = particles
         self.config = config
         self.p = p

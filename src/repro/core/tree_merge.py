@@ -115,6 +115,14 @@ class TopTree:
         w *= -kernels.G
         return w[:, None] * diff
 
+    def compiled_cluster_data(self, mode: str):
+        """Forces and monopole potentials are point-mass arithmetic
+        (compiled-eligible); merged multipole potentials stay on the
+        numpy tier (``None`` → fall back)."""
+        if mode == "potential" and self.coeffs is not None:
+            return None
+        return self.tree.com, self.tree.mass, 0.0
+
 
 def _check_disjoint(branches: list[BranchInfo], dims: int) -> None:
     for i, a in enumerate(branches):
