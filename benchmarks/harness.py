@@ -119,6 +119,11 @@ BENCHES: dict[str, dict] = {
         "smoke": ["--smoke"],
         "full": [],
     },
+    "adaptive_timesteps": {
+        "script": "bench_adaptive_timesteps.py",
+        "smoke": ["--smoke"],
+        "full": [],
+    },
 }
 
 _SCALAR = (str, int, float, bool, type(None))

@@ -94,6 +94,9 @@ def _build_sim(args):
         mode=args.mode, grid_level=args.grid_level,
         leaf_capacity=args.leaf_capacity,
         kernel_tier=args.kernels, kernel_threads=args.kernel_threads,
+        softening=args.softening, integrator=args.integrator,
+        timestep=args.timestep, dt_eta=args.dt_eta,
+        max_rungs=args.max_rungs,
     )
     profile = get_profile(args.machine)
     fault_plan = (FaultPlan.load(getattr(args, "fault_plan", None))
@@ -151,7 +154,12 @@ def _cmd_run(args) -> int:
         print(f"checkpoints: {args.checkpoint_dir}"
               + (" (resuming)" if args.resume else ""))
 
-    result = sim.run(steps=args.steps, trace=bool(args.trace_out))
+    if args.timestep == "block" and args.dt is None:
+        print("error: --timestep block advances particles; give --dt",
+              file=sys.stderr)
+        return 2
+    result = sim.run(steps=args.steps, dt=args.dt,
+                     trace=bool(args.trace_out))
 
     if result.resumed_from is not None:
         print(f"\nresumed from checkpointed step {result.resumed_from}")
@@ -163,6 +171,35 @@ def _cmd_run(args) -> int:
     for phase, t in sorted(result.phase_breakdown().items(),
                            key=lambda kv: -kv[1]):
         print(f"  {phase:<26s} {t:10.3f} s")
+    if args.timestep == "block":
+        ms = result.metrics_summary()
+
+        def counter(name):
+            try:
+                return ms.counter(name).value
+            except KeyError:
+                return 0
+
+        subs = counter("timestep.substeps") // max(args.procs, 1)
+        targets = counter("timestep.force_targets")
+        denom = max(subs * particles.n, 1)
+        print("block timesteps:")
+        print(f"  {'substeps':<26s} {subs:10d}")
+        print(f"  {'active fraction':<26s} {targets / denom:10.3f}")
+        bins = []
+        r = 0
+        while True:
+            b = counter(f"timestep.bin_{r}")
+            if b == 0 and r >= args.max_rungs:
+                break
+            bins.append(b)
+            r += 1
+        print(f"  {'rung occupancy':<26s} {bins}")
+        for name in ("repair.repairs", "repair.full_rebuilds",
+                     "repair.nodes_reused", "repair.nodes_rebuilt",
+                     "repair.walks_retained", "repair.walks_invalidated",
+                     "timestep.midmacro_exchanges"):
+            print(f"  {name:<26s} {counter(name):10d}")
     faults = result.fault_summary()
     if fault_plan is not None or any(faults.values()):
         print("fault/recovery counters:")
@@ -208,7 +245,7 @@ def _cmd_trace(args) -> int:
           f"| {args.scheme.upper()} on {profile.name} x{args.procs} "
           f"| alpha={args.alpha} degree={args.degree} mode={args.mode} "
           f"| {args.steps} step(s), traced")
-    result = sim.run(steps=args.steps, trace=True)
+    result = sim.run(steps=args.steps, dt=args.dt, trace=True)
     trace = result.trace
 
     print(f"\nvirtual parallel time   {result.parallel_time:10.3f} s")
@@ -310,6 +347,28 @@ def _add_sim_args(cmd: argparse.ArgumentParser) -> None:
                           "bitwise independent of N (default: serial "
                           "numpy loop)")
     cmd.add_argument("--steps", type=int, default=1)
+    cmd.add_argument("--dt", type=float, default=None, metavar="DT",
+                     help="advance particles by DT per step (default: "
+                          "compute forces only, no advance)")
+    cmd.add_argument("--softening", type=float, default=0.0,
+                     help="Plummer softening for force kernels "
+                          "(required > 0 for --timestep block)")
+    cmd.add_argument("--integrator", choices=("euler", "kdk"),
+                     default="euler",
+                     help="particle advance: euler (original loop, "
+                          "bitwise default) or kdk leapfrog")
+    cmd.add_argument("--timestep", choices=("fixed", "block"),
+                     default="fixed",
+                     help="fixed: every particle advances by dt each "
+                          "step; block: power-of-two per-particle bins "
+                          "with incremental tree repair (needs "
+                          "--integrator kdk and --softening > 0)")
+    cmd.add_argument("--dt-eta", type=float, default=0.2,
+                     help="rung criterion accuracy: "
+                          "dt_i = eta*sqrt(softening/|a|)")
+    cmd.add_argument("--max-rungs", type=int, default=4, metavar="R",
+                     help="power-of-two timestep bins (rung r steps "
+                          "dt/2^r)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -20,8 +20,17 @@ AccelFn = Callable[[ParticleSet], np.ndarray]
 
 
 def leapfrog_step(particles: ParticleSet, accel: AccelFn, dt: float,
-                  accel_now: np.ndarray | None = None) -> np.ndarray:
+                  accel_now: np.ndarray | None = None, *,
+                  force_input: bool = False) -> np.ndarray:
     """Advance ``particles`` in place by one KDK leapfrog step.
+
+    The ``accel`` callback must return **accelerations** — which is what
+    every kernel in this package produces (``direct_forces`` and the
+    tree evaluators compute ``-G m_src r / r^3`` per unit *target* mass,
+    so target masses never enter).  A callback returning true forces
+    (``m_i a_i``) would silently integrate wrongly for non-uniform
+    masses; pass ``force_input=True`` and each evaluation is divided by
+    the particle masses before kicking.
 
     ``accel_now`` optionally reuses the accelerations already computed at
     the current positions (saves one force evaluation per step in a
@@ -30,17 +39,21 @@ def leapfrog_step(particles: ParticleSet, accel: AccelFn, dt: float,
     """
     if dt <= 0:
         raise ValueError(f"time-step must be positive, got {dt}")
-    a0 = accel(particles) if accel_now is None else accel_now
-    if a0.shape != particles.positions.shape:
-        raise ValueError(
-            f"acceleration shape {a0.shape} does not match positions "
-            f"{particles.positions.shape}"
-        )
+
+    def to_accel(a: np.ndarray) -> np.ndarray:
+        if a.shape != particles.positions.shape:
+            raise ValueError(
+                f"acceleration shape {a.shape} does not match positions "
+                f"{particles.positions.shape}"
+            )
+        return a / particles.masses[:, None] if force_input else a
+
+    a0 = to_accel(accel(particles) if accel_now is None else accel_now)
     particles.velocities += 0.5 * dt * a0
     particles.positions += dt * particles.velocities
-    a1 = accel(particles)
-    particles.velocities += 0.5 * dt * a1
-    return a1
+    raw1 = accel(particles)             # returned as-is: accel_now takes
+    particles.velocities += 0.5 * dt * to_accel(raw1)   # the raw value
+    return raw1
 
 
 def kinetic_energy(particles: ParticleSet) -> float:

@@ -126,6 +126,12 @@ class InteractionLists:
     mac_tests: int
     mac_per_target: np.ndarray     # (nt,) int64 MAC tests per target
     p2p_interactions: int
+    # every MAC decision the walk made, one row per tested (node,
+    # target) pair — the evidence walk-cache invalidation re-checks
+    # after a tree repair (see TraversalEngine.apply_repair)
+    tested_node: np.ndarray = None  # type: ignore[assignment]
+    tested_tgt: np.ndarray = None  # type: ignore[assignment]
+    tested_ok: np.ndarray = None  # type: ignore[assignment]
     # lazy caches (built on first evaluation, reused afterwards)
     _p2p_groups: list | None = None
     _cluster_per_target: np.ndarray | None = None
@@ -225,6 +231,9 @@ def _walk_dfs(tree: Tree, targets: np.ndarray, mac, cls: np.ndarray,
     leaf_nodes: list[int] = []
     leaf_idx: list[np.ndarray] = []
     remote: dict[int, list[np.ndarray]] = {}
+    tested_nodes: list[int] = []
+    tested_idx: list[np.ndarray] = []
+    tested_ok: list[np.ndarray] = []
     mac_per_target = np.zeros(nt, dtype=np.int64)
     mac_tests = 0
 
@@ -250,6 +259,9 @@ def _walk_dfs(tree: Tree, targets: np.ndarray, mac, cls: np.ndarray,
                 & ~np.all(np.abs(t - center[node]) < half[node], axis=1)
         else:
             ok = mac.accept(tree, node, t)
+        tested_nodes.append(node)
+        tested_idx.append(idx)
+        tested_ok.append(np.asarray(ok, dtype=bool))
         far = idx[ok]
         if far.size:
             cl_nodes.append(node)
@@ -262,13 +274,20 @@ def _walk_dfs(tree: Tree, targets: np.ndarray, mac, cls: np.ndarray,
 
     cl_sizes = np.array([a.size for a in cl_idx], dtype=np.int64)
     leaf_sizes = np.array([a.size for a in leaf_idx], dtype=np.int64)
+    tested_sizes = np.array([a.size for a in tested_idx], dtype=np.int64)
     cluster_node = (np.repeat(np.asarray(cl_nodes, dtype=np.int64), cl_sizes)
                     if cl_nodes else np.zeros(0, dtype=np.int64))
     p2p_leaf = (np.repeat(np.asarray(leaf_nodes, dtype=np.int64), leaf_sizes)
                 if leaf_nodes else np.zeros(0, dtype=np.int64))
+    tested_node = (np.repeat(np.asarray(tested_nodes, dtype=np.int64),
+                             tested_sizes)
+                   if tested_nodes else np.zeros(0, dtype=np.int64))
+    tested = (tested_node, _concat(tested_idx),
+              (np.concatenate(tested_ok) if tested_ok
+               else np.zeros(0, dtype=bool)))
     remote_pairs = {n: _concat(remote[n]) for n in remote}
     return (cluster_node, _concat(cl_idx), p2p_leaf, _concat(leaf_idx),
-            remote_pairs, mac_tests, mac_per_target)
+            remote_pairs, mac_tests, mac_per_target, tested)
 
 
 def _walk_frontier(tree: Tree, targets: np.ndarray, alpha: float,
@@ -300,7 +319,9 @@ def _walk_frontier(tree: Tree, targets: np.ndarray, alpha: float,
     lf_t: list[np.ndarray] = []
     rm_n: list[np.ndarray] = []
     rm_t: list[np.ndarray] = []
-    tested_t: list[np.ndarray] = []    # MAC-tested pair targets, per wave
+    tested_n: list[np.ndarray] = []    # MAC-tested pairs, per wave
+    tested_t: list[np.ndarray] = []
+    tested_o: list[np.ndarray] = []
     mac_tests = 0
 
     while node.size:
@@ -320,6 +341,7 @@ def _walk_frontier(tree: Tree, targets: np.ndarray, alpha: float,
         if node.size == 0:
             break
         mac_tests += node.size
+        tested_n.append(node)
         tested_t.append(tgt)
         g = geom[node]
         t = targets[tgt]
@@ -329,6 +351,7 @@ def _walk_frontier(tree: Tree, targets: np.ndarray, alpha: float,
         dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
         ok = (2.0 * h < alpha * dist) \
             & ~np.all(np.abs(t - g[:, d:2 * d]) < h[:, None], axis=1)
+        tested_o.append(ok)
         if ok.any():
             cl_n.append(node[ok])
             cl_t.append(tgt[ok])
@@ -364,8 +387,12 @@ def _walk_frontier(tree: Tree, targets: np.ndarray, alpha: float,
 
     cluster_node, cluster_tgt = _grouped(cl_n, cl_t)
     p2p_leaf, p2p_tgt = _grouped(lf_n, lf_t)
+    tested = (_concat(tested_n).astype(np.int64),
+              _concat(tested_t).astype(np.int64),
+              (np.concatenate(tested_o) if tested_o
+               else np.zeros(0, dtype=bool)))
     return (cluster_node, cluster_tgt, p2p_leaf, p2p_tgt,
-            remote_pairs, mac_tests, mac_per_target)
+            remote_pairs, mac_tests, mac_per_target, tested)
 
 
 def build_interaction_lists(tree: Tree, target_positions: np.ndarray,
@@ -399,6 +426,9 @@ def build_interaction_lists(tree: Tree, target_positions: np.ndarray,
         remote_targets={}, mac_tests=0,
         mac_per_target=np.zeros(nt, dtype=np.int64),
         p2p_interactions=0,
+        tested_node=np.zeros(0, dtype=np.int64),
+        tested_tgt=np.zeros(0, dtype=np.int64),
+        tested_ok=np.zeros(0, dtype=bool),
     )
     if nt == 0 or tree.nnodes == 0:
         return empty
@@ -429,11 +459,11 @@ def build_interaction_lists(tree: Tree, target_positions: np.ndarray,
     start = tree.ROOT if root is None else root
     if use_frontier:
         (cluster_node, cluster_tgt, p2p_leaf, p2p_tgt, remote_pairs,
-         mac_tests, mac_per_target) = _walk_frontier(
+         mac_tests, mac_per_target, tested) = _walk_frontier(
             tree, targets, mac.alpha, cls, start)
     else:
         (cluster_node, cluster_tgt, p2p_leaf, p2p_tgt, remote_pairs,
-         mac_tests, mac_per_target) = _walk_dfs(
+         mac_tests, mac_per_target, tested) = _walk_dfs(
             tree, targets, mac, cls, start, fast_mac)
 
     # Sorted keys and sorted contents: bin composition is independent of
@@ -453,6 +483,50 @@ def build_interaction_lists(tree: Tree, target_positions: np.ndarray,
         mac_tests=mac_tests,
         mac_per_target=mac_per_target,
         p2p_interactions=int(counts[p2p_leaf].sum()),
+        tested_node=tested[0],
+        tested_tgt=tested[1],
+        tested_ok=tested[2],
+    )
+
+
+def subset_interaction_lists(lists: InteractionLists,
+                             idx: np.ndarray) -> InteractionLists:
+    """Restrict prebuilt lists to the targets at positions ``idx``.
+
+    Per-target walk decisions are independent, so filtering the pair
+    rows reproduces *exactly* the interaction sets and counters a fresh
+    walk over ``lists.targets[idx]`` would produce — only list entry
+    order (fp accumulation order) differs.  This is how block timesteps
+    evaluate a surviving cached walk for just the active bin-set.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    member = np.zeros(lists.nt, dtype=bool)
+    member[idx] = True
+    remap = np.full(lists.nt, -1, dtype=np.int64)
+    remap[idx] = np.arange(idx.size)
+
+    def keep(node, tgt):
+        m = member[tgt]
+        return node[m], remap[tgt[m]]
+
+    cn, ct = keep(lists.cluster_node, lists.cluster_tgt)
+    pl, pt = keep(lists.p2p_leaf, lists.p2p_tgt)
+    sizes = lists.p2p_sizes[member[lists.p2p_tgt]]
+    tn, tt = keep(lists.tested_node, lists.tested_tgt)
+    to = lists.tested_ok[member[lists.tested_tgt]]
+    remote: dict[int, np.ndarray] = {}
+    for node, tgts in lists.remote_targets.items():
+        kept = tgts[member[tgts]]
+        if kept.size:
+            remote[node] = remap[kept]
+    mpt = lists.mac_per_target[idx]
+    return InteractionLists(
+        targets=lists.targets[idx], nt=int(idx.size), d=lists.d,
+        cluster_node=cn, cluster_tgt=ct, p2p_leaf=pl, p2p_tgt=pt,
+        p2p_sizes=sizes, remote_targets=remote,
+        mac_tests=int(mpt.sum()), mac_per_target=mpt,
+        p2p_interactions=int(sizes.sum()),
+        tested_node=tn, tested_tgt=tt, tested_ok=to,
     )
 
 
@@ -783,6 +857,9 @@ class TraversalEngine:
         self._cache_size = cache_size
         self.walks_built = 0
         self.walks_reused = 0
+        self.walks_retained = 0
+        self.walks_invalidated = 0
+        self.walks_retested = 0
 
     def _fingerprint(self, targets: np.ndarray) -> tuple:
         t = np.ascontiguousarray(targets)
@@ -810,10 +887,18 @@ class TraversalEngine:
     def compute(self, target_positions: np.ndarray, evaluator,
                 mode: str = "potential",
                 count_node_interactions: bool = False,
-                target_weights: np.ndarray | None = None
+                target_weights: np.ndarray | None = None,
+                target_subset: np.ndarray | None = None
                 ) -> TraversalResult:
-        """One evaluation: reuses a cached walk when possible."""
+        """One evaluation: reuses a cached walk when possible.
+
+        ``target_subset`` (indices into the target batch) restricts the
+        evaluation to the active subset of an already-walked batch —
+        values come back aligned with the subset.  The full walk is
+        what gets cached; subset filtering is cheap masking."""
         lists = self.lists_for(target_positions)
+        if target_subset is not None:
+            lists = subset_interaction_lists(lists, target_subset)
         return evaluate_interaction_lists(
             self.tree, lists, self.sources, evaluator, mode=mode,
             softening=self.softening,
@@ -823,3 +908,77 @@ class TraversalEngine:
             kernel_tier=self.kernel_tier,
             kernel_threads=self.kernel_threads,
         )
+
+    def apply_repair(self, repair, sources=None) -> None:
+        """Carry the engine across a tree repair
+        (:func:`~repro.bh.tree_repair.repair_tree`): swap in the
+        repaired tree and decide, per cached walk, whether its recorded
+        accept/open decisions still hold.
+
+        A walk is **evicted** when any node it touched was deleted, any
+        node it *opened* has different child cells, or any p2p leaf's
+        slice length changed.  If surviving nodes are merely
+        value-dirty (monopole moved), the stored MAC decisions are
+        re-tested against the new tree and the walk survives only if
+        every decision is unchanged — then its node ids are remapped
+        and it keeps serving evaluations (new monopoles are gathered at
+        eval time, so values track the repaired tree automatically).
+        """
+        self.tree = repair.tree
+        if sources is not None:
+            self.sources = sources
+        if repair.rebuilt or repair.id_map is None:
+            self.walks_invalidated += len(self._cache)
+            self._cache.clear()
+            return
+        id_map = repair.id_map
+        cc = repair.children_changed
+        ctc = repair.count_changed
+        vd = repair.value_dirty
+        fast_mac = type(self.mac) is BarnesHutMAC
+        tree = repair.tree
+        kept: dict[tuple, InteractionLists] = {}
+        for key, lists in self._cache.items():
+            tn, tt, ok = lists.tested_node, lists.tested_tgt, lists.tested_ok
+            touched = np.concatenate([tn, lists.p2p_leaf,
+                                      lists.cluster_node,
+                                      np.fromiter(lists.remote_targets,
+                                                  dtype=np.int64,
+                                                  count=len(
+                                                      lists.remote_targets))])
+            if touched.size and (id_map[touched] < 0).any():
+                self.walks_invalidated += 1
+                continue
+            opened = tn[~ok]
+            if (opened.size and cc[opened].any()) \
+                    or (lists.p2p_leaf.size
+                        and (cc[lists.p2p_leaf].any()
+                             or ctc[lists.p2p_leaf].any())):
+                self.walks_invalidated += 1
+                continue
+            stale = np.flatnonzero(vd[tn]) if tn.size else tn
+            if stale.size:
+                if not fast_mac:
+                    self.walks_invalidated += 1
+                    continue
+                nid = id_map[tn[stale]]
+                t = lists.targets[tt[stale]]
+                h = tree.half[nid]
+                diff = t - tree.com[nid]
+                dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+                renew = (2.0 * h < self.mac.alpha * dist) \
+                    & ~np.all(np.abs(t - tree.center[nid]) < h[:, None],
+                              axis=1)
+                self.walks_retested += 1
+                if not np.array_equal(renew, ok[stale]):
+                    self.walks_invalidated += 1
+                    continue
+            lists.cluster_node = id_map[lists.cluster_node]
+            lists.p2p_leaf = id_map[lists.p2p_leaf]
+            lists.tested_node = id_map[tn]
+            lists.remote_targets = {int(id_map[n]): v for n, v
+                                    in lists.remote_targets.items()}
+            lists._p2p_groups = None     # bound to old node ids/slices
+            kept[key] = lists
+            self.walks_retained += 1
+        self._cache = kept

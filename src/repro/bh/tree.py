@@ -191,11 +191,15 @@ class Tree:
         return [(int(levels[i]), order[bounds[i]:bounds[i + 1]])
                 for i in range(levels.size)]
 
-    def _internal_child_groups(self):
+    def _internal_child_groups(self, restrict: np.ndarray | None = None):
         """Local internal nodes per level (deepest first), grouped by
         child count: yields ``(nodes, kids)`` with ``kids`` of shape
-        ``(len(nodes), c)``, children in slot order."""
+        ``(len(nodes), c)``, children in slot order.  ``restrict`` (a
+        node mask) limits the sweep to a subset — the incremental
+        monopole refresh of tree repair."""
         local = self.remote_owner < 0
+        if restrict is not None:
+            local = local & restrict
         for _, ids in reversed(self.nodes_by_level()):
             ids = ids[local[ids]]
             if ids.size == 0:
@@ -212,7 +216,8 @@ class Tree:
                 kids = kid_rows[sel][valid[sel]].reshape(nodes.size, int(c))
                 yield nodes, kids
 
-    def compute_monopoles(self, particles: ParticleSet) -> None:
+    def compute_monopoles(self, particles: ParticleSet,
+                          nodes: np.ndarray | None = None) -> None:
         """Fill ``mass``/``com`` bottom-up from the particle slices.
 
         Level-batched: leaves are grouped by slice length and reduced as
@@ -221,14 +226,26 @@ class Tree:
         order as the per-node reference scan, so the results are bitwise
         identical to :meth:`compute_monopoles_reference`.
 
+        ``nodes`` restricts the pass to a subset (tree repair: only
+        nodes on dirty root-paths).  Restricted results are bitwise
+        equal to the full pass because every grouped reduction is
+        per-row independent; the subset must be ancestor-closed over
+        stale nodes, i.e. untouched nodes' stored monopoles are valid.
+
         Remote leaves are expected to have mass/com pre-filled by the
         tree merge; they are left untouched.
         """
         pos, m = particles.positions, particles.masses
         if self.nnodes == 0:
             return
+        restrict = None
+        if nodes is not None:
+            restrict = np.zeros(self.nnodes, dtype=bool)
+            restrict[nodes] = True
         local = self.remote_owner < 0
         leaf_mask = (self.children == NO_CHILD).all(axis=1) & local
+        if restrict is not None:
+            leaf_mask &= restrict
         leaves = np.flatnonzero(leaf_mask)
         lengths = (self.end - self.start)[leaves]
         for L in np.unique(lengths):
@@ -247,7 +264,7 @@ class Tree:
             safe = np.where(positive, totals, 1.0)
             self.com[sel] = np.where(positive[:, None], weighted / safe[:, None],
                                      self.center[sel])
-        for nodes, kids in self._internal_child_groups():
+        for nodes, kids in self._internal_child_groups(restrict):
             km = self.mass[kids]                        # (g, c) contiguous
             totals = km.sum(axis=1)
             self.mass[nodes] = totals
@@ -373,20 +390,28 @@ class _Builder:
         return node
 
 
-def _build_levels(keys: np.ndarray, dims: int, bits: int,
-                  leaf_capacity: int, collapse_chains: bool,
-                  root_box: Box) -> dict:
-    """Level-synchronous tree construction over sorted Morton keys.
+def _emit_levels(keys: np.ndarray, dims: int, bits: int,
+                 leaf_capacity: int, collapse_chains: bool,
+                 root_box: Box,
+                 stop_cells: dict[int, np.ndarray] | None = None) -> dict:
+    """Level-synchronous cell emission over sorted Morton keys.
 
     Processes a frontier of pending cells per wave: batched chain
     collapsing (masked per-level iteration, the same fp update sequence
     as the recursive descent), one node emission per frontier entry, and
     a grouped octant split via per-entry key histograms.  Emission order
-    is breadth-first; the final renumbering by ``lexsort((depth, start))``
-    recovers the recursion's depth-first pre-order exactly, because
-    sibling slices partition their parent's slice in Morton order and a
-    node shares its ``start`` only with first-child descendants (which
-    are strictly deeper).
+    is breadth-first; arrays come back *unnumbered* (``parent``/``slot``
+    refer to emission indices) so callers can renumber, or splice in
+    grafted subtrees first (tree repair).
+
+    ``stop_cells`` (depth -> sorted path keys) marks cells whose old
+    subtrees the repair path wants to reuse: an emission whose
+    post-collapse cell matches a stop cell is not split (``stopped``
+    flags it).  The check runs only *after* collapse settles, so a stop
+    cell grafts only when the normal build would materialise exactly
+    that cell — a clean old cell that a full rebuild would skip (e.g.
+    departures shrank an ancestor under the leaf capacity) is simply
+    never matched, keeping grafted output bitwise equal to a rebuild.
     """
     d = dims
     nkids = 1 << d
@@ -404,7 +429,7 @@ def _build_levels(keys: np.ndarray, dims: int, bits: int,
     slot = np.array([-1], dtype=np.int64)
 
     e_lo, e_hi, e_depth, e_path = [], [], [], []
-    e_center, e_half, e_parent, e_slot = [], [], [], []
+    e_center, e_half, e_parent, e_slot, e_stop = [], [], [], [], []
     n_emitted = 0
 
     while lo.size:
@@ -428,6 +453,18 @@ def _build_levels(keys: np.ndarray, dims: int, bits: int,
                 half[cand] *= 0.5
                 cand = cand[depth[cand] < bits]
 
+        stopped = np.zeros(lo.size, dtype=bool)
+        if stop_cells:
+            for dep in np.unique(depth):
+                cells = stop_cells.get(int(dep))
+                if cells is None:
+                    continue
+                sel = np.flatnonzero(depth == dep)
+                pos = np.searchsorted(cells, path[sel])
+                ok = pos < cells.size
+                ok[ok] = cells[pos[ok]] == path[sel[ok]]
+                stopped[sel[ok]] = True
+
         emit_base = n_emitted
         n_emitted += lo.size
         e_lo.append(lo)
@@ -438,8 +475,10 @@ def _build_levels(keys: np.ndarray, dims: int, bits: int,
         e_half.append(half)
         e_parent.append(parent)
         e_slot.append(slot)
+        e_stop.append(stopped)
 
-        split = np.flatnonzero((hi - lo > leaf_capacity) & (depth < bits))
+        split = np.flatnonzero((hi - lo > leaf_capacity) & (depth < bits)
+                               & ~stopped)
         if split.size == 0:
             break
         slo, shi = lo[split], hi[split]
@@ -466,31 +505,47 @@ def _build_levels(keys: np.ndarray, dims: int, bits: int,
         parent = emit_base + split[pe]
         slot = ce.astype(np.int64)
 
-    lo_a = np.concatenate(e_lo)
-    hi_a = np.concatenate(e_hi)
-    depth_a = np.concatenate(e_depth)
-    path_a = np.concatenate(e_path)
-    center_a = np.concatenate(e_center)
-    half_a = np.concatenate(e_half)
-    parent_a = np.concatenate(e_parent)
-    slot_a = np.concatenate(e_slot)
+    return dict(
+        lo=np.concatenate(e_lo),
+        hi=np.concatenate(e_hi),
+        depth=np.concatenate(e_depth),
+        path=np.concatenate(e_path),
+        center=np.concatenate(e_center),
+        half=np.concatenate(e_half),
+        parent=np.concatenate(e_parent),
+        slot=np.concatenate(e_slot),
+        stopped=np.concatenate(e_stop),
+    )
 
-    nnodes = lo_a.size
-    perm = np.lexsort((depth_a, lo_a))     # DFS pre-order
+
+def _build_levels(keys: np.ndarray, dims: int, bits: int,
+                  leaf_capacity: int, collapse_chains: bool,
+                  root_box: Box) -> dict:
+    """Level-synchronous tree construction: :func:`_emit_levels` plus
+    renumbering by ``lexsort((depth, start))``, which recovers the
+    recursion's depth-first pre-order exactly, because sibling slices
+    partition their parent's slice in Morton order and a node shares its
+    ``start`` only with first-child descendants (which are strictly
+    deeper)."""
+    raw = _emit_levels(keys, dims, bits, leaf_capacity, collapse_chains,
+                       root_box)
+    nkids = 1 << dims
+    nnodes = raw["lo"].size
+    perm = np.lexsort((raw["depth"], raw["lo"]))     # DFS pre-order
     new_id = np.empty(nnodes, dtype=np.int64)
     new_id[perm] = np.arange(nnodes)
     children = np.full((nnodes, nkids), NO_CHILD, dtype=np.int32)
-    kid = np.flatnonzero(parent_a >= 0)
-    children[new_id[parent_a[kid]], slot_a[kid]] = new_id[kid]
+    kid = np.flatnonzero(raw["parent"] >= 0)
+    children[new_id[raw["parent"][kid]], raw["slot"][kid]] = new_id[kid]
 
     return dict(
         children=children,
-        depth=depth_a[perm].astype(np.int32),
-        path_key=path_a[perm],
-        center=center_a[perm],
-        half=half_a[perm],
-        start=lo_a[perm],
-        end=hi_a[perm],
+        depth=raw["depth"][perm].astype(np.int32),
+        path_key=raw["path"][perm],
+        center=raw["center"][perm],
+        half=raw["half"][perm],
+        start=raw["lo"][perm],
+        end=raw["hi"][perm],
     )
 
 

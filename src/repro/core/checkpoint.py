@@ -123,6 +123,14 @@ class RankCheckpoint:
     #: uninterrupted run did — otherwise restored pre-boundary trace
     #: events and re-executed events would collide on ``seq``.
     seq_next: int | None = None
+    #: Block-timestep bin state (``timestep="block"``): per-particle
+    #: rungs and the stored accelerations that source opening
+    #: half-kicks.  Restored verbatim so a recovered block-timestep run
+    #: re-executes the exact same substep schedule and kicks — bitwise
+    #: identical to the uninterrupted trajectory.  ``None`` on
+    #: fixed-timestep runs and in pre-block-timestep checkpoints.
+    rungs: Any = None
+    accel: Any = None
 
 
 class CheckpointStore:

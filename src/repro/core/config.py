@@ -9,6 +9,8 @@ MERGE_KINDS = ("broadcast", "nonreplicated")
 LOOKUP_KINDS = ("hashed", "sorted")
 MODES = ("force", "potential")
 KERNEL_TIERS = ("numpy", "numba", "auto")
+INTEGRATORS = ("euler", "kdk")
+TIMESTEPS = ("fixed", "block")
 
 
 @dataclass(frozen=True)
@@ -61,6 +63,23 @@ class SchemeConfig:
         ``None`` keeps the original serial numpy loop bit for bit; any
         explicit count (including 1) selects the slot-deterministic
         evaluator whose results are bitwise independent of the count.
+    integrator:
+        Particle advance: ``"euler"`` (semi-implicit Euler, the
+        original loop — bitwise default) or ``"kdk"`` (kick-drift-kick
+        leapfrog, the basis for block timesteps).
+    timestep:
+        ``"fixed"`` advances every particle by ``dt`` each step;
+        ``"block"`` runs the power-of-two block-timestep hierarchy —
+        each outer step is a macro step of ``dt``, internally split
+        into substeps that integrate only the active rung bins
+        (requires ``integrator="kdk"``, ``mode="force"`` and
+        ``softening > 0`` for the rung criterion).
+    dt_eta:
+        Accuracy parameter of the rung criterion
+        ``dt_i = dt_eta * sqrt(softening / |a_i|)``.
+    max_rungs:
+        Number of power-of-two timestep bins (rung ``r`` integrates
+        with ``dt / 2^r``).
     """
 
     scheme: str = "spda"
@@ -77,6 +96,10 @@ class SchemeConfig:
     working_set_bytes: int | None = None
     kernel_tier: str = "numpy"
     kernel_threads: int | None = None
+    integrator: str = "euler"
+    timestep: str = "fixed"
+    dt_eta: float = 0.2
+    max_rungs: int = 4
 
     def __post_init__(self):
         if self.scheme not in SCHEMES:
@@ -113,6 +136,28 @@ class SchemeConfig:
         if self.kernel_threads is not None and self.kernel_threads < 1:
             raise ValueError("kernel_threads must be >= 1 (or None for "
                              "the serial path)")
+        if self.integrator not in INTEGRATORS:
+            raise ValueError(f"integrator must be one of {INTEGRATORS}, "
+                             f"got {self.integrator!r}")
+        if self.timestep not in TIMESTEPS:
+            raise ValueError(f"timestep must be one of {TIMESTEPS}, "
+                             f"got {self.timestep!r}")
+        if self.dt_eta <= 0:
+            raise ValueError(f"dt_eta must be positive, got {self.dt_eta}")
+        if not 1 <= self.max_rungs <= 16:
+            raise ValueError(f"max_rungs must be in [1, 16], "
+                             f"got {self.max_rungs}")
+        if self.timestep == "block":
+            if self.integrator != "kdk":
+                raise ValueError("block timesteps integrate with KDK "
+                                 "leapfrog; set integrator='kdk'")
+            if self.mode != "force":
+                raise ValueError("block timesteps advance particles and "
+                                 "need mode='force'")
+            if self.softening <= 0:
+                raise ValueError("block timesteps need softening > 0 "
+                                 "(the rung criterion is "
+                                 "dt_eta * sqrt(softening / |a|))")
 
     def clusters(self, dims: int) -> int:
         """Number of static clusters r for the given dimensionality."""

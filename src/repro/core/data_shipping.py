@@ -355,7 +355,8 @@ class DataShippingEngine:
                 _accumulate(values, tg, contrib, nt)
 
     def _traverse_round(self, values: np.ndarray,
-                        done_pairs: set[tuple[int, int]]
+                        done_pairs: set[tuple[int, int]],
+                        tidx: np.ndarray | None = None
                         ) -> dict[int, set[int]]:
         """One traversal pass against the current cache.
 
@@ -372,8 +373,10 @@ class DataShippingEngine:
         targets = self.particles.positions
         misses: dict[int, set[int]] = {}
         root_key = branch_key(Cell(0, 0), self._dims)
+        seed = (np.arange(targets.shape[0]) if tidx is None
+                else np.asarray(tidx, dtype=np.int64))
         stack: list[tuple[int, np.ndarray, int]] = [
-            (root_key, np.arange(targets.shape[0]), self.comm.rank)
+            (root_key, seed, self.comm.rank)
         ]
         degree = self.config.degree
         flops = 0.0
@@ -491,12 +494,17 @@ class DataShippingEngine:
         self.stats.fetch_messages += sum(1 for r in requests if r)
 
     # --------------------------------------------------------------- run
-    def run(self) -> np.ndarray:
-        """Compute potentials/forces for all local particles."""
+    def run(self, targets_idx: np.ndarray | None = None) -> np.ndarray:
+        """Compute potentials/forces for all local particles, or — with
+        ``targets_idx`` — for just that active subset (full-size output,
+        untouched rows stay zero).  The fetch rounds are collective, so
+        every rank calls ``run`` even with an empty subset."""
         n = self.particles.n
         d = self._dims
         values = (np.zeros(n) if self.config.mode == "potential"
                   else np.zeros((n, d)))
+        has_targets = (n if targets_idx is None
+                       else np.asarray(targets_idx).size)
         with self.comm.phase("force computation"):
             # Zero-duration marker span: records the active kernel tier
             # in the trace without advancing any clock (same marker as
@@ -506,8 +514,9 @@ class DataShippingEngine:
             self._seed_cache_from_top()
             done_pairs: set[tuple[int, int]] = set()
             while True:
-                misses = (self._traverse_round(values, done_pairs)
-                          if n else {})
+                misses = (self._traverse_round(values, done_pairs,
+                                               targets_idx)
+                          if has_targets else {})
                 any_miss = self.comm.allreduce(
                     bool(misses), lambda a, b: a or b)
                 if not any_miss:

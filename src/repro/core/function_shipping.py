@@ -61,7 +61,8 @@ class FunctionShippingEngine:
     """Binds one rank's trees and particles for the force phase."""
 
     def __init__(self, comm: Comm, config: SchemeConfig, top: TopTree,
-                 subtrees: list[LocalSubtree], particles: ParticleSet):
+                 subtrees: list[LocalSubtree], particles: ParticleSet,
+                 subtree_engines: dict[int, TraversalEngine] | None = None):
         self.comm = comm
         self.config = config
         self.top = top
@@ -85,14 +86,21 @@ class FunctionShippingEngine:
             working_set_bytes=ws, kernel_tier=self.kernel_tier,
             kernel_threads=kt,
         )
-        self._subtree_engines = {
-            st.key: TraversalEngine(
-                st.tree, st.particles, self.mac,
-                softening=config.softening, working_set_bytes=ws,
-                kernel_tier=self.kernel_tier, kernel_threads=kt,
-            )
-            for st in subtrees
-        }
+        # ``subtree_engines`` adopts persistent per-subtree engines whose
+        # walk caches survive across engine instances (the block-timestep
+        # loop repairs trees between substeps and carries the engines
+        # through :meth:`TraversalEngine.apply_repair`).
+        if subtree_engines is not None:
+            self._subtree_engines = subtree_engines
+        else:
+            self._subtree_engines = {
+                st.key: TraversalEngine(
+                    st.tree, st.particles, self.mac,
+                    softening=config.softening, working_set_bytes=ws,
+                    kernel_tier=self.kernel_tier, kernel_threads=kt,
+                )
+                for st in subtrees
+            }
 
     def _walk_counts(self) -> tuple[int, int]:
         built = self._top_engine.walks_built
@@ -147,12 +155,23 @@ class FunctionShippingEngine:
         return values
 
     # ------------------------------------------------------------- main run
-    def run(self) -> ForceResult:
+    def run(self, targets_idx: np.ndarray | None = None) -> ForceResult:
+        """Compute values for all local particles, or — with
+        ``targets_idx`` (indices into the rank's particle arrays) — for
+        just that active subset.  ``values`` is always full-size; rows
+        outside the subset stay zero.  The bin protocol and its
+        collectives run either way, so every rank must call ``run``
+        each round even with an empty subset.
+        """
         comm, cfg = self.comm, self.config
         n = self.particles.n
         d = self.particles.dims if n else self.top.tree.dims
+        tidx = (np.arange(n) if targets_idx is None
+                else np.asarray(targets_idx, dtype=np.int64))
+        nt = tidx.size
         values = np.zeros(n) if self._mode == "potential" else np.zeros((n, d))
         self._result = ForceResult(values=values)
+        built0, reused0 = self._walk_counts()
 
         def accumulate(slots: np.ndarray, vals: np.ndarray) -> None:
             # One result bin may carry several records for the same local
@@ -176,12 +195,14 @@ class FunctionShippingEngine:
             # supervision telemetry, and no virtual time elapses inside).
             with comm.phase(f"kernels:{self.kernel_tier}"):
                 pass
-            if n:
+            if nt:
+                weights = np.zeros(nt)
                 top_res = self._top_engine.compute(
-                    self.particles.positions, self.top, mode=self._mode,
-                    target_weights=self.requester_flops,
+                    self.particles.positions[tidx], self.top,
+                    mode=self._mode, target_weights=weights,
                 )
-                values += top_res.values
+                self.requester_flops[tidx] += weights
+                values[tidx] += top_res.values
                 self._charge(top_res)
                 self._result.mac_tests += top_res.mac_tests
                 self._result.cluster_interactions += \
@@ -192,9 +213,10 @@ class FunctionShippingEngine:
             if top_res is not None:
                 # Local branches: descend into own subtrees.  Remote
                 # branches: bin the records, serving opportunistically.
-                for node, idx in sorted(top_res.remote_targets.items()):
+                for node, sub in sorted(top_res.remote_targets.items()):
                     owner = int(self.top.tree.remote_owner[node])
                     key = int(self.top.tree.remote_key[node])
+                    idx = tidx[sub]
                     if owner == comm.rank:
                         st = self._lookup_subtree(key)
                         res = self._subtree_engines[key].compute(
@@ -220,6 +242,8 @@ class FunctionShippingEngine:
         self._result.records_served = bins.records_served
         self._result.ship = bins.stats
         built, reused = self._walk_counts()
+        built -= built0
+        reused -= reused0
         self._result.walks_built = built
         self._result.walks_reused = reused
         comm.metrics.counter("force.walks_built").inc(built)

@@ -37,9 +37,15 @@ import numpy as np
 
 from repro.bh import compiled as _compiled
 from repro.bh import morton as _morton
+from repro.bh.blockstep import assign_rungs
+from repro.bh.interaction_lists import TraversalEngine
+from repro.bh.mac import BarnesHutMAC
 from repro.bh.morton import morton_keys
 from repro.bh.particles import Box, ParticleSet
+from repro.bh.tree import build_tree
+from repro.bh.tree_repair import repair_tree
 from repro.core.assignment import clusters_of_rank, spsa_assignment
+from repro.core.branch_nodes import branch_key
 from repro.core.checkpoint import (
     CheckpointCorruptError,
     CheckpointError,
@@ -54,8 +60,8 @@ from repro.core.function_shipping import ForceResult, FunctionShippingEngine
 from repro.core.load_model import cluster_loads, particle_loads
 from repro.core.morton_assign import balance_clusters
 from repro.core.partition import Cell, cover_cells
-from repro.core.tree_build import build_local_trees, local_branch_infos, \
-    tree_build_flops
+from repro.core.tree_build import LocalSubtree, assign_to_cells, \
+    build_local_trees, local_branch_infos, tree_build_flops
 from repro.core.tree_merge import merge_broadcast, merge_nonreplicated
 from repro.machine import mailbox as _mailbox_mod
 from repro.machine.clock import PhaseTimings
@@ -71,6 +77,7 @@ PHASE_SETUP = "setup"
 PHASE_BALANCE = "load balancing"
 PHASE_TREE = "local tree construction"
 PHASE_ADVANCE = "particle advance"
+PHASE_REPAIR = "tree repair"
 
 #: flops charged per particle for balance bookkeeping / binning.
 BALANCE_FLOPS_PER_PARTICLE = 5.0
@@ -183,27 +190,46 @@ class _Shard:
     positions against the fixed root grid — so ``nbytes`` charges only
     the particle payload and the virtual communication cost of the
     exchange is identical to shipping bare :class:`ParticleSet` chunks.
+
+    Block-timestep runs additionally carry per-particle ``rungs`` and
+    stored ``accel`` (the half-kick state of the KDK hierarchy).  Unlike
+    keys these are *state*, not derived data — they cannot be recomputed
+    from positions — so their bytes ARE charged to the exchange.
     """
 
-    __slots__ = ("particles", "keys")
+    __slots__ = ("particles", "keys", "rungs", "accel")
 
-    def __init__(self, particles: ParticleSet, keys: np.ndarray):
+    def __init__(self, particles: ParticleSet, keys: np.ndarray | None,
+                 rungs: np.ndarray | None = None,
+                 accel: np.ndarray | None = None):
         self.particles = particles
         self.keys = keys
+        self.rungs = rungs
+        self.accel = accel
 
     @property
     def nbytes(self) -> int:
-        return self.particles.nbytes
+        extra = 0
+        if self.rungs is not None:
+            extra += self.rungs.nbytes
+        if self.accel is not None:
+            extra += self.accel.nbytes
+        return self.particles.nbytes + extra
 
 
 def _exchange(comm: Comm, particles: ParticleSet, owners: np.ndarray,
-              keys: np.ndarray | None = None
-              ) -> tuple[ParticleSet, np.ndarray | None]:
+              keys: np.ndarray | None = None,
+              rungs: np.ndarray | None = None,
+              accel: np.ndarray | None = None):
     """All-to-all personalized particle movement to new owners.
 
     With ``keys`` given, every chunk carries its particles' Morton keys
     and the matching concatenated key array is returned (else None).
+    With ``rungs``/``accel`` given (block timesteps), the per-particle
+    bin state rides the same shards — their bytes charged — and the
+    return grows to ``(particles, keys, rungs, accel)``.
     """
+    extras = rungs is not None
     outgoing = []
     shipped = 0
     for dst in range(comm.size):
@@ -212,24 +238,56 @@ def _exchange(comm: Comm, particles: ParticleSet, owners: np.ndarray,
             shipped += idx.size
         if idx.size == 0:
             outgoing.append(None)
-        elif keys is None:
+        elif keys is None and not extras:
             outgoing.append(particles.subset(idx))
         else:
-            outgoing.append(_Shard(particles.subset(idx), keys[idx]))
+            outgoing.append(_Shard(
+                particles.subset(idx),
+                None if keys is None else keys[idx],
+                rungs[idx] if extras else None,
+                accel[idx] if extras else None))
     comm.metrics.counter("sim.particles_shipped").inc(shipped)
     comm.compute(BALANCE_FLOPS_PER_PARTICLE * particles.n)
     incoming = comm.alltoall(outgoing)
-    if keys is None:
+    if keys is None and not extras:
         non_empty = [ps for ps in incoming if ps is not None and ps.n]
         if not non_empty:
             return ParticleSet.empty(particles.dims), None
         return ParticleSet.concatenate(non_empty), None
     shards = [sh for sh in incoming if sh is not None and sh.particles.n]
+    d = particles.dims
     if not shards:
-        return ParticleSet.empty(particles.dims), np.zeros(0,
-                                                           dtype=np.int64)
-    return (ParticleSet.concatenate([sh.particles for sh in shards]),
-            np.concatenate([sh.keys for sh in shards]))
+        out_p = ParticleSet.empty(d)
+        out_k = None if keys is None else np.zeros(0, dtype=np.int64)
+        if not extras:
+            return out_p, out_k
+        return out_p, out_k, np.zeros(0, dtype=np.int64), np.zeros((0, d))
+    out_p = ParticleSet.concatenate([sh.particles for sh in shards])
+    out_k = (None if keys is None
+             else np.concatenate([sh.keys for sh in shards]))
+    if not extras:
+        return out_p, out_k
+    return (out_p, out_k,
+            np.concatenate([sh.rungs for sh in shards]),
+            np.concatenate([sh.accel for sh in shards], axis=0))
+
+
+@dataclass
+class _Forest:
+    """One rank's forest of owned-cell subtrees plus the force engine,
+    carried across the substeps of a block-timestep macro step.
+
+    ``engines`` is the *persistent* per-subtree-key dict of
+    :class:`TraversalEngine` objects: forest refreshes hand it to each
+    fresh :class:`FunctionShippingEngine` so walk caches survive tree
+    repairs.  ``keys`` snapshots the rank's depth-``bits`` Morton keys
+    the trees were built from (the ``old_keys`` of the next repair).
+    """
+
+    subtrees: list[LocalSubtree]
+    engines: dict[int, TraversalEngine]
+    fs: FunctionShippingEngine
+    keys: np.ndarray
 
 
 class _RankState:
@@ -255,6 +313,12 @@ class _RankState:
         # DPDA state
         self.key_boundaries: np.ndarray | None = None
         self.my_particle_loads: np.ndarray | None = None
+        # Block-timestep state (KDK integrator): per-particle rung bins
+        # and the stored accelerations that source opening half-kicks.
+        # None until the first macro step bootstraps them; ride the
+        # balancing exchange and the checkpoint so recovery is bitwise.
+        self.rungs: np.ndarray | None = None
+        self.accel: np.ndarray | None = None
 
     # ---------------------------------------------- checkpoint / restore
     def snapshot(self, next_step: int,
@@ -295,6 +359,8 @@ class _RankState:
             xmit_seq=comm._xmit_seq,
             trace_events=trace_events,
             seq_next=getattr(_mailbox_mod._seq_counter, "value", None),
+            rungs=_copy_array(self.rungs),
+            accel=_copy_array(self.accel),
         )
 
     def restore(self, ckpt: RankCheckpoint) -> None:
@@ -305,6 +371,9 @@ class _RankState:
         self.key_boundaries = _copy_array(ckpt.key_boundaries)
         self.my_particle_loads = _copy_array(ckpt.my_particle_loads)
         self._last_values = _copy_array(ckpt.last_values)
+        # getattr: pre-block-timestep checkpoints lack these fields.
+        self.rungs = _copy_array(getattr(ckpt, "rungs", None))
+        self.accel = _copy_array(getattr(ckpt, "accel", None))
         self._keys = None
         self.comm.clock.now = ckpt.clock_now
         self.comm.clock.timings = PhaseTimings(dict(ckpt.phase_seconds))
@@ -331,6 +400,20 @@ class _RankState:
         if ckpt.seq_next is not None \
                 and hasattr(_mailbox_mod._seq_counter, "value"):
             _mailbox_mod._seq_counter.value = ckpt.seq_next
+
+    # ------------------------------------------------------- exchange
+    def _do_exchange(self, owners: np.ndarray,
+                     keys: np.ndarray | None) -> None:
+        """Run the balancing exchange, threading block-timestep bin
+        state (rungs / stored accelerations) through the shards whenever
+        it exists."""
+        if self.rungs is not None:
+            self.particles, self._keys, self.rungs, self.accel = \
+                _exchange(self.comm, self.particles, owners, keys,
+                          rungs=self.rungs, accel=self.accel)
+        else:
+            self.particles, self._keys = _exchange(
+                self.comm, self.particles, owners, keys)
 
     # ------------------------------------------------------ morton keys
     def _rank_keys(self) -> np.ndarray:
@@ -375,9 +458,8 @@ class _RankState:
                     )
                 keys = self._rank_keys()
                 owners = self.cluster_owners[self._cluster_keys_from(keys)]
-                self.particles, self._keys = _exchange(
-                    comm, self.particles, owners,
-                    keys if CARRY_MORTON_KEYS else None)
+                self._do_exchange(owners,
+                                  keys if CARRY_MORTON_KEYS else None)
             return [Cell(cfg.grid_level, int(k)) for k in
                     clusters_of_rank(self.cluster_owners, comm.rank)]
 
@@ -398,9 +480,8 @@ class _RankState:
                 )
                 comm.compute(2.0 * r)  # prefix scan over the sorted list
                 owners = self.cluster_owners[ckeys]
-                self.particles, self._keys = _exchange(
-                    comm, self.particles, owners,
-                    keys if CARRY_MORTON_KEYS else None)
+                self._do_exchange(owners,
+                                  keys if CARRY_MORTON_KEYS else None)
             return [Cell(cfg.grid_level, int(k)) for k in
                     clusters_of_rank(self.cluster_owners, comm.rank)]
 
@@ -454,16 +535,373 @@ class _RankState:
             owners = np.searchsorted(self.key_boundaries, keys,
                                      side="right")
             comm.compute(BALANCE_FLOPS_PER_PARTICLE * keys.size)
-            self.particles, self._keys = _exchange(
-                comm, self.particles, owners,
-                keys if CARRY_MORTON_KEYS else None)
+            self._do_exchange(owners,
+                              keys if CARRY_MORTON_KEYS else None)
         bounds = np.concatenate(([0], self.key_boundaries, [span]))
         lo, hi = int(bounds[comm.rank]), int(bounds[comm.rank + 1])
         return cover_cells(lo, hi, self.bits, self.dims)
 
+    # ------------------------------------- block timesteps (KDK macro)
+    def _owners_from_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Owning rank of every key under the *current* decomposition
+        (cluster map for SPSA/SPDA, key ranges for DPDA) — used by the
+        mid-macro stray check without re-running the balancer."""
+        if self.config.scheme in ("spsa", "spda"):
+            return self.cluster_owners[self._cluster_keys_from(keys)]
+        return np.searchsorted(self.key_boundaries, keys, side="right")
+
+    def _sub_keys_for(self, cell: Cell, idx: np.ndarray,
+                      keys: np.ndarray) -> np.ndarray | None:
+        """Bit slice of global depth-``bits`` keys for a cell-rooted
+        subtree — the same arithmetic as :func:`build_local_trees`, so
+        repaired and rebuilt subtrees follow one consistent grid."""
+        cfg, dims = self.config, self.dims
+        depth_budget = (cfg.max_depth if cfg.max_depth is not None
+                        else self.bits) - cell.depth
+        budget = max(1, depth_budget)
+        rem = self.bits - cell.depth
+        if not 0 < budget <= rem:
+            return None
+        mask = np.int64((1 << (dims * rem)) - 1)
+        return (keys[idx] & mask) >> (dims * (rem - budget))
+
+    def _subtree_budget(self, cell: Cell) -> int:
+        cfg = self.config
+        return max(1, (cfg.max_depth if cfg.max_depth is not None
+                       else self.bits) - cell.depth)
+
+    def _make_subtree(self, cell: Cell, idx: np.ndarray,
+                      keys: np.ndarray) -> LocalSubtree:
+        """Build one owned-cell subtree (mirrors ``build_local_trees``'s
+        per-cell body; degree is 0 in force mode so no multipoles)."""
+        sub = self.particles.subset(idx)
+        tree = build_tree(sub, box=cell.box(self.root),
+                          leaf_capacity=self.config.leaf_capacity,
+                          max_depth=self._subtree_budget(cell),
+                          keys=self._sub_keys_for(cell, idx, keys))
+        return LocalSubtree(cell=cell, key=branch_key(cell, self.dims),
+                            particles=sub, local_idx=idx, tree=tree)
+
+    def _new_sub_engine(self, st: LocalSubtree) -> TraversalEngine:
+        cfg = self.config
+        return TraversalEngine(
+            st.tree, st.particles, BarnesHutMAC(cfg.alpha),
+            softening=cfg.softening,
+            working_set_bytes=cfg.working_set_bytes,
+            kernel_tier=_compiled.resolve_tier(cfg.kernel_tier),
+            kernel_threads=cfg.kernel_threads,
+        )
+
+    def _merge_top(self, branches):
+        cfg = self.config
+        if cfg.merge == "broadcast":
+            return merge_broadcast(self.comm, branches, self.root,
+                                   cfg.degree, cfg.branch_lookup)
+        return merge_nonreplicated(self.comm, branches, self.root,
+                                   cfg.degree, cfg.branch_lookup)
+
+    def _build_forest(self, cells: list[Cell]) -> _Forest:
+        """Full forest (re)build: trees, branch exchange, merge, fresh
+        engines.  Collective (the merge) — every rank must call it."""
+        comm, cfg = self.comm, self.config
+        keys = self._rank_keys()
+        with comm.clock.phase(PHASE_TREE):
+            subtrees = build_local_trees(self.particles, cells, self.root,
+                                         cfg, self.bits, keys=keys)
+            depth = max((st.tree.node_depth_max() for st in subtrees
+                         if st.tree is not None), default=1)
+            comm.compute(tree_build_flops(self.particles.n, depth))
+            branches = local_branch_infos(subtrees, comm.rank, self.root,
+                                          cfg.degree)
+        top = self._merge_top(branches)
+        fs = FunctionShippingEngine(comm, cfg, top, subtrees,
+                                    self.particles)
+        return _Forest(subtrees=subtrees, engines=fs._subtree_engines,
+                       fs=fs, keys=keys.copy())
+
+    def _refresh_forest(self, forest: _Forest, cells: list[Cell],
+                        starters: np.ndarray) -> _Forest:
+        """Per-substep forest update after ``starters`` drifted (and no
+        particle left the rank): reuse untouched subtrees verbatim,
+        incrementally repair subtrees whose membership is unchanged,
+        rebuild the rest.  Repaired trees are bitwise identical to full
+        rebuilds (the :func:`repair_tree` contract), so tree_mode never
+        changes results — only the virtual cost.  Collective (merge)."""
+        comm, cfg = self.comm, self.config
+        n = self.particles.n
+        keys = self._rank_keys()
+        engines = forest.engines
+        metrics = comm.metrics
+        with comm.clock.phase(PHASE_REPAIR):
+            old_map = {st.key: st for st in forest.subtrees}
+            slots = assign_to_cells(self.particles.positions, cells,
+                                    self.root, self.bits, keys=keys)
+            starter_mask = np.zeros(n, dtype=bool)
+            starter_mask[starters] = True
+            subtrees: list[LocalSubtree] = []
+            live_keys: set[int] = set()
+            touched = 0
+            depth = 1
+            for i, cell in enumerate(cells):
+                idx = np.flatnonzero(slots == i)
+                if idx.size == 0:
+                    continue
+                bkey = branch_key(cell, self.dims)
+                live_keys.add(bkey)
+                old = old_map.get(bkey)
+                same_members = (old is not None
+                                and old.local_idx.size == idx.size
+                                and bool(np.array_equal(old.local_idx,
+                                                        idx)))
+                if same_members:
+                    movers = np.flatnonzero(starter_mask[idx])
+                    if movers.size == 0:
+                        # Untouched: positions of every member are
+                        # frozen this substep — tree, monopoles and
+                        # cached walks all stay valid.
+                        subtrees.append(old)
+                        metrics.counter("repair.nodes_reused").inc(
+                            old.tree.nnodes)
+                        continue
+                    old_sk = self._sub_keys_for(cell, idx, forest.keys)
+                    new_sk = self._sub_keys_for(cell, idx, keys)
+                    if old_sk is not None and new_sk is not None:
+                        sub = self.particles.subset(idx)
+                        res = repair_tree(old.tree, sub, old_sk, new_sk,
+                                          movers)
+                        st = LocalSubtree(cell=cell, key=bkey,
+                                          particles=sub, local_idx=idx,
+                                          tree=res.tree)
+                        subtrees.append(st)
+                        eng = engines.get(bkey)
+                        if eng is not None:
+                            w0 = (eng.walks_retained,
+                                  eng.walks_invalidated,
+                                  eng.walks_retested)
+                            eng.apply_repair(res, sources=sub)
+                            metrics.counter("repair.walks_retained").inc(
+                                eng.walks_retained - w0[0])
+                            metrics.counter(
+                                "repair.walks_invalidated").inc(
+                                eng.walks_invalidated - w0[1])
+                            metrics.counter("repair.walks_retested").inc(
+                                eng.walks_retested - w0[2])
+                        else:
+                            engines[bkey] = self._new_sub_engine(st)
+                        if res.rebuilt:
+                            metrics.counter("repair.full_rebuilds").inc()
+                        else:
+                            metrics.counter("repair.repairs").inc()
+                        metrics.counter("repair.nodes_reused").inc(
+                            res.nodes_reused)
+                        metrics.counter("repair.nodes_rebuilt").inc(
+                            res.nodes_rebuilt)
+                        metrics.counter("repair.changed_keys").inc(
+                            res.n_changed_keys)
+                        touched += int(movers.size)
+                        depth = max(depth, res.tree.node_depth_max())
+                        continue
+                # Membership changed (or the cell has no key budget):
+                # rebuild this subtree from scratch.
+                st = self._make_subtree(cell, idx, keys)
+                subtrees.append(st)
+                engines[bkey] = self._new_sub_engine(st)
+                metrics.counter("repair.full_rebuilds").inc()
+                metrics.counter("repair.nodes_rebuilt").inc(st.tree.nnodes)
+                touched += int(idx.size)
+                depth = max(depth, st.tree.node_depth_max())
+            # Cells that emptied out: drop their stale engines.
+            for k in [k for k in engines if k not in live_keys]:
+                del engines[k]
+            comm.compute(tree_build_flops(touched, depth))
+            branches = local_branch_infos(subtrees, comm.rank, self.root,
+                                          cfg.degree)
+        top = self._merge_top(branches)
+        fs = FunctionShippingEngine(comm, cfg, top, subtrees,
+                                    self.particles,
+                                    subtree_engines=engines)
+        return _Forest(subtrees=subtrees, engines=engines, fs=fs,
+                       keys=keys.copy())
+
+    @staticmethod
+    def _merge_force(agg: ForceResult, res: ForceResult) -> None:
+        agg.mac_tests += res.mac_tests
+        agg.cluster_interactions += res.cluster_interactions
+        agg.p2p_interactions += res.p2p_interactions
+        agg.records_shipped += res.records_shipped
+        agg.records_served += res.records_served
+        agg.walks_built += res.walks_built
+        agg.walks_reused += res.walks_reused
+        s, t = agg.ship, res.ship
+        s.request_bins_sent += t.request_bins_sent
+        s.request_records_sent += t.request_records_sent
+        s.request_bytes_sent += t.request_bytes_sent
+        s.result_records_returned += t.result_records_returned
+        s.flow_control_stalls += t.flow_control_stalls
+
+    def _assign_rungs(self, accel: np.ndarray, dt: float,
+                      max_rungs: int) -> np.ndarray:
+        """Rung criterion; ``max_rungs == 1`` (fixed-dt KDK) short-
+        circuits to rung 0 so softening may be 0 there."""
+        if max_rungs == 1:
+            return np.zeros(accel.shape[0], dtype=np.int64)
+        cfg = self.config
+        return assign_rungs(accel, dt, cfg.dt_eta, cfg.softening,
+                            max_rungs)
+
+    def _step_block(self, step_no: int, dt: float) -> StepResult:
+        """One KDK macro step of ``dt`` over the block-timestep rung
+        hierarchy (``timestep="fixed"`` runs it with a single rung).
+
+        Every substep is collective on every rank — the R allreduce,
+        the stray allreduce, the branch merge and the function-shipping
+        bin protocol all run even on ranks with no starters/finishers —
+        so the virtual machine's collectives stay aligned.
+        """
+        comm, cfg = self.comm, self.config
+        if cfg.mode != "force":
+            raise ValueError("advancing particles requires mode='force'")
+        before = self.particles.n
+        cells = self.decompose(step_no)
+        max_rungs = 1 if cfg.timestep == "fixed" else cfg.max_rungs
+        forest = self._build_forest(cells)
+        agg = ForceResult(values=np.zeros(0))
+        requester = np.zeros(self.particles.n)
+
+        def run_forces(targets_idx):
+            res = forest.fs.run(targets_idx=targets_idx)
+            self._merge_force(agg, res)
+            if requester.size == forest.fs.requester_flops.size:
+                requester[:] += forest.fs.requester_flops
+            return res.values
+
+        if self.rungs is None or self.rungs.size != self.particles.n:
+            # First macro step (or a pre-block checkpoint): bootstrap
+            # the bin state with one full force evaluation.  All ranks
+            # enter this branch together — rungs are None everywhere
+            # before the first macro step and ride every exchange and
+            # checkpoint afterwards — so the extra collective is aligned.
+            self.accel = run_forces(None)
+            self.rungs = self._assign_rungs(self.accel, dt, max_rungs)
+            comm.metrics.counter("timestep.bootstraps").inc()
+        R_local = (int(self.rungs.max()) + 1 if self.rungs.size else 1)
+        R = int(comm.allreduce(R_local, max))
+        nsub = 1 << (R - 1)
+        hi_clip = self.root.hi - 1e-9 * self.root.side
+
+        for j in range(nsub):
+            rungs = self.rungs
+            period = (1 << (R - 1 - np.minimum(rungs, R - 1))) \
+                .astype(np.int64)
+            starters = np.flatnonzero(j % period == 0)
+            with comm.clock.phase(PHASE_ADVANCE):
+                if starters.size:
+                    p = self.particles
+                    dt_r = dt / (1 << rungs[starters]).astype(np.float64)
+                    p.velocities[starters] += \
+                        (0.5 * dt_r)[:, None] * self.accel[starters]
+                    p.positions[starters] = np.clip(
+                        p.positions[starters]
+                        + dt_r[:, None] * p.velocities[starters],
+                        self.root.lo, hi_clip)
+                    comm.compute(6.0 * self.dims * starters.size)
+                    if self._keys is not None:
+                        # Incremental re-key: only movers re-quantize.
+                        self._keys[starters] = morton_keys(
+                            p.positions[starters], self.root.lo,
+                            self.root.side, self.bits)
+                    comm.metrics.counter("timestep.drifted").inc(
+                        int(starters.size))
+            keys = self._rank_keys()
+            owners = (self._owners_from_keys(keys) if keys.size
+                      else np.zeros(0, dtype=np.int64))
+            stray = bool(keys.size) and bool(np.any(owners != comm.rank))
+            if comm.allreduce(stray, lambda a, b: a or b):
+                # A drift crossed a domain boundary mid-macro: move the
+                # strays (bin state rides the shards) and rebuild the
+                # forest.  Walk caches and requester-side load
+                # attribution reset — both are observability, not state.
+                with comm.clock.phase(PHASE_BALANCE):
+                    self._do_exchange(owners,
+                                      keys if CARRY_MORTON_KEYS else None)
+                comm.metrics.counter("timestep.midmacro_exchanges").inc()
+                forest = self._build_forest(cells)
+                requester = np.zeros(self.particles.n)
+            else:
+                forest = self._refresh_forest(forest, cells, starters)
+            rungs = self.rungs          # exchange may have permuted them
+            period = (1 << (R - 1 - np.minimum(rungs, R - 1))) \
+                .astype(np.int64)
+            finishers = np.flatnonzero((j + 1) % period == 0)
+            vals = run_forces(finishers)
+            if finishers.size:
+                a_new = vals[finishers]
+                dt_f = dt / (1 << rungs[finishers]).astype(np.float64)
+                self.accel[finishers] = a_new
+                self.particles.velocities[finishers] += \
+                    (0.5 * dt_f)[:, None] * a_new
+                want = self._assign_rungs(a_new, dt, max_rungs)
+                cur = rungs[finishers]
+                if j + 1 == nsub:
+                    new = want          # sync point: all moves allowed
+                else:
+                    # Smaller dt anytime (bounded by this macro's
+                    # subdivision); longer dt only at aligned
+                    # boundaries.
+                    up = np.minimum(want, R - 1)
+                    aligned = ((j + 1)
+                               % (1 << (R - 1
+                                        - np.minimum(want, R - 1)))) == 0
+                    new = np.where(want >= cur, up,
+                                   np.where(aligned, want, cur))
+                rungs[finishers] = new
+                with comm.clock.phase(PHASE_ADVANCE):
+                    comm.compute((3.0 * self.dims + 10.0)
+                                 * finishers.size)
+            comm.metrics.counter("timestep.substeps").inc()
+            comm.metrics.counter("timestep.force_targets").inc(
+                int(finishers.size))
+
+        comm.metrics.counter("timestep.macro_steps").inc()
+        for r in range(max_rungs):
+            comm.metrics.counter(f"timestep.bin_{r}").inc(
+                int((self.rungs == r).sum()))
+
+        # Measured loads feed the next macro step's balancer, exactly
+        # like the fixed path: owner-side subtree counters plus the
+        # accumulated requester-side cost (reset on mid-macro exchange —
+        # a lossy but safe approximation of a rare event).
+        from repro.analysis.flops import interaction_flops
+        per_int = interaction_flops(cfg.degree)
+        slow = comm.slowdown
+        if cfg.scheme == "spda":
+            r = cfg.clusters(self.dims)
+            arr = np.zeros(r)
+            for key, load in cluster_loads(forest.subtrees).items():
+                arr[key] = load * per_int
+            if self.particles.n:
+                ckeys = self._cluster_keys_from(self._rank_keys())
+                np.add.at(arr, ckeys, requester)
+            self.cluster_load = arr * slow
+        elif cfg.scheme == "dpda":
+            self.my_particle_loads = (
+                particle_loads(forest.subtrees, self.particles.n)
+                * per_int + requester
+            ) * slow
+
+        agg.values = self.accel.copy()
+        self._last_values = agg.values
+        return StepResult(n_local=self.particles.n, force=agg,
+                          moved_in=self.particles.n - before)
+
     # ------------------------------------------------------- one step
     def step(self, step_no: int, dt: float | None) -> StepResult:
         comm, cfg = self.comm, self.config
+        if dt is not None and cfg.integrator == "kdk":
+            # KDK / block-timestep macro step.  ``dt is None`` (pure
+            # force computation) and the euler default stay on the
+            # original path below, bitwise.
+            return self._step_block(step_no, dt)
         # Count before the balancing exchange inside decompose() so
         # moved_in reports the net particles gained by this rank.
         before = self.particles.n

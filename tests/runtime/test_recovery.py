@@ -72,6 +72,31 @@ def test_sigkill_recovery_is_bitwise_identical(scheme, tmp_path):
     assert snap["recovery.quiesce_seconds"]["count"] == 1
 
 
+def test_sigkill_recovery_with_block_timesteps(tmp_path):
+    """Crash recovery must restore the block-timestep bin state (rungs
+    and stored accelerations) from the checkpoint: a SIGKILL'd block
+    run finishes bitwise identical to an uninterrupted one, which only
+    holds if the recovered ranks re-enter the exact same substep
+    schedule."""
+    def _block_run(plan=None, ckpt_dir=None):
+        particles = plummer(240, seed=5)
+        cfg = SchemeConfig(scheme="dpda", alpha=0.8, mode="force",
+                           softening=0.05, integrator="kdk",
+                           timestep="block", max_rungs=3, dt_eta=0.3)
+        sim = ParallelBarnesHut(
+            particles, cfg, p=P, profile=NCUBE2, backend="process",
+            fault_plan=plan, checkpoint_dir=ckpt_dir,
+            checkpoint_every=1 if (ckpt_dir or plan) else None,
+            restart_backoff=0.01)
+        return sim.run(steps=3, dt=5e-3)
+
+    baseline = _block_run()
+    hurt = _block_run(plan=FaultPlan(seed=7, kill={1: 2}),
+                      ckpt_dir=tmp_path / "block")
+    assert hurt.recoveries == 1
+    assert_bitwise_equal(baseline, hurt)
+
+
 def test_stalled_heartbeat_convicted_and_recovered(tmp_path):
     """A livelocked worker (heartbeat silenced, process alive) must be
     convicted by the heartbeat timeout and the run recovered."""
